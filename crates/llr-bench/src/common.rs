@@ -1,0 +1,116 @@
+//! Table formatting and CSV output shared by all experiments.
+
+use std::fmt::Display;
+use std::fs;
+use std::path::PathBuf;
+
+/// A simple aligned table that also lands in `results/<name>.csv`.
+pub struct Table {
+    name: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A new table with `headers`, persisted as `results/<name>.csv`.
+    pub fn new(name: &str, headers: &[&str]) -> Self {
+        Self {
+            name: name.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a row (anything displayable).
+    pub fn row(&mut self, cells: &[&dyn Display]) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Prints the aligned table to stdout and writes the CSV.
+    pub fn finish(self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        println!("{}", line(&self.headers));
+        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        for row in &self.rows {
+            println!("{}", line(row));
+        }
+
+        let dir = results_dir();
+        let _ = fs::create_dir_all(&dir);
+        // RFC-4180-ish quoting: fields containing commas or quotes are
+        // wrapped and inner quotes doubled.
+        let quote = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let join = |cells: &[String]| {
+            cells.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
+        };
+        let mut csv = join(&self.headers) + "\n";
+        for row in &self.rows {
+            csv.push_str(&join(row));
+            csv.push('\n');
+        }
+        let path = dir.join(format!("{}.csv", self.name));
+        if let Err(e) = fs::write(&path, csv) {
+            eprintln!("(could not write {}: {e})", path.display());
+        } else {
+            println!("→ {}", path.display());
+        }
+    }
+}
+
+/// Where CSVs land: `<workspace>/results`.
+pub fn results_dir() -> PathBuf {
+    // target dir layout: <workspace>/target/...; CARGO_MANIFEST_DIR is
+    // <workspace>/crates/llr-bench.
+    let p = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    let _ = fs::create_dir_all(&p);
+    p.canonicalize().unwrap_or(p)
+}
+
+/// Prints a section banner.
+pub fn banner(title: &str) {
+    println!("\n━━━ {title} ━━━");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_roundtrip_to_csv() {
+        let mut t = Table::new("_test_table", &["a", "b"]);
+        t.row(&[&1, &"x"]);
+        t.row(&[&22, &"yy"]);
+        t.finish();
+        let path = results_dir().join("_test_table.csv");
+        let csv = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(csv, "a,b\n1,x\n22,yy\n");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("_test_bad", &["a", "b"]);
+        t.row(&[&1]);
+    }
+}

@@ -1,0 +1,231 @@
+//! E2 (Theorem 5, Lemma 6, and friends): exhaustive model checking of
+//! every reconstructed building block and every protocol at small scale.
+//!
+//! This is the release-mode home of the checks too slow for the debug
+//! test suite; it regenerates the verification table of EXPERIMENTS.md.
+
+use crate::common::{banner, Table};
+use llr_core::filter::spec as filter_spec;
+use llr_core::ma::spec as ma_spec;
+use llr_core::onetime::spec as onetime_spec;
+use llr_core::pf::spec as pf_spec;
+use llr_core::split::spec as split_spec;
+use llr_core::splitter::spec as splitter_spec;
+use llr_core::tournament::spec as tree_spec;
+use llr_gf::FilterParams;
+use llr_mc::CheckStats;
+
+pub fn run() {
+    banner("E2 — exhaustive interleaving verification (all schedules)");
+    let mut t = Table::new(
+        "e2_modelcheck",
+        &["subject", "invariant", "configuration", "states", "transitions", "verdict"],
+    );
+    let mut add = |subject: &str, invariant: &str, config: &str, r: Result<CheckStats, String>| {
+        match r {
+            Ok(s) => t.row(&[&subject, &invariant, &config, &s.states, &s.transitions, &"VERIFIED"]),
+            Err(e) => {
+                t.row(&[&subject, &invariant, &config, &"-", &"-", &"VIOLATED"]);
+                eprintln!("VIOLATION in {subject} ({config}):\n{e}");
+            }
+        }
+    };
+
+    // Splitter (Figure 2 reconstruction) — Theorem 5.
+    for (ell, sessions) in [(2usize, 3u8), (3, 2)] {
+        add(
+            "splitter (Fig 2)",
+            "each output set ≤ ℓ-1",
+            &format!("ℓ={ell}, {sessions} sessions, all 12 initial states"),
+            splitter_spec::check_all_inits(ell, sessions)
+                .map_err(|v| v.to_string()),
+        );
+    }
+
+    // Peterson–Fischer ME (Figure 3 reconstruction) — Lemma 6 substrate.
+    add(
+        "PF 2-proc ME (Fig 3)",
+        "mutual exclusion",
+        "2 procs, 5 sessions",
+        pf_spec::check_exclusion(5).map_err(|v| v.to_string()),
+    );
+    add(
+        "PF 2-proc ME (Fig 3)",
+        "no deadlock state",
+        "2 procs, 5 sessions",
+        pf_spec::check_no_deadlock(5).map_err(|v| v.to_string()),
+    );
+
+    // Tournament trees — Lemma 6.
+    for (s, parts, sessions) in [
+        (8u64, vec![2u64, 3], 3u8),
+        (8, vec![0, 7], 3),
+        (4, vec![0, 1, 3], 2),
+        (4, vec![0, 1, 2, 3], 2),
+    ] {
+        add(
+            "tournament tree",
+            "root CS exclusion",
+            &format!("S={s}, pids={parts:?}, {sessions} sessions"),
+            tree_spec::check_tree(s, &parts, sessions).map_err(|v| v.to_string()),
+        );
+    }
+
+    // SPLIT (Figure 1) — name uniqueness.
+    for (k, procs, sessions) in [(2usize, 2usize, 3u8), (3, 2, 2), (3, 3, 1)] {
+        add(
+            "SPLIT (Fig 1)",
+            "held names unique",
+            &format!("k={k}, {procs} procs, {sessions} sessions"),
+            split_spec::check_split(k, procs, sessions).map_err(|v| v.to_string()),
+        );
+    }
+
+    // FILTER (Figure 4) — uniqueness and global block exclusion.
+    let tiny = FilterParams::new(2, 4, 1, 2).unwrap();
+    for pair in [[1u64, 2], [1, 3], [0, 3], [0, 2]] {
+        add(
+            "FILTER (Fig 4)",
+            "unique names + ME blocks",
+            &format!("k=2, S=4, d=1, z=2, pids={pair:?}, 2 sessions"),
+            filter_spec::check_filter(tiny, &pair, 2).map_err(|v| v.to_string()),
+        );
+    }
+    let gf5 = FilterParams::new(3, 25, 1, 5).unwrap();
+    add(
+        "FILTER (Fig 4)",
+        "unique names + ME blocks",
+        "k=3, S=25, d=1, z=5, pids=[1,6,11], 1 session",
+        filter_spec::check_filter(gf5, &[1, 6, 11], 1).map_err(|v| v.to_string()),
+    );
+
+    // MA grid — uniqueness.
+    for (k, s, pids, sessions) in [
+        (2usize, 3u64, vec![0u64, 2], 3u8),
+        (3, 3, vec![0, 1, 2], 1),
+        (2, 4, vec![1, 3], 3),
+    ] {
+        add(
+            "MA grid (baseline)",
+            "held names unique",
+            &format!("k={k}, S={s}, pids={pids:?}, {sessions} sessions"),
+            ma_spec::check_ma(k, s, &pids, sessions).map_err(|v| v.to_string()),
+        );
+    }
+
+    // Chain composition (SPLIT → MA in one register file).
+    add(
+        "chain SPLIT→MA",
+        "end-to-end names unique",
+        "k=2, 2 procs, 2 sessions, backwards release",
+        llr_core::chain::spec::check_mini_chain(2, &[3, 9], 2).map_err(|v| v.to_string()),
+    );
+
+    // One-time grid — one-shot uniqueness.
+    for (k, pids) in [(2usize, vec![0u64, 1]), (3, vec![0, 1, 2]), (4, vec![0, 1, 2, 3])] {
+        add(
+            "one-time grid",
+            "acquired names unique",
+            &format!("k={k}, pids={pids:?}"),
+            onetime_spec::check_onetime(k, &pids).map_err(|v| v.to_string()),
+        );
+    }
+
+    t.finish();
+
+    // Liveness: from every reachable state, some schedule finishes the
+    // workload (deadlock-freedom for the blocking ME; a wait-freedom
+    // consequence for the protocols).
+    let mut lt = Table::new(
+        "e2_liveness",
+        &["subject", "configuration", "states", "edges", "verdict"],
+    );
+    let mut add_live = |subject: &str,
+                        config: &str,
+                        r: Result<llr_mc::LivenessStats, llr_mc::CheckError>| match r {
+        Ok(s) => lt.row(&[&subject, &config, &s.states, &s.edges, &"ALWAYS-TERMINABLE"]),
+        Err(e) => {
+            lt.row(&[&subject, &config, &"-", &"-", &"TRAP FOUND"]);
+            eprintln!("TRAP in {subject} ({config}):\n{e}");
+        }
+    };
+
+    {
+        use llr_mc::ModelChecker;
+        use llr_mem::Layout;
+
+        let mut layout = Layout::new();
+        let regs = llr_core::pf::MeRegs::allocate(&mut layout, "ME");
+        let machines = vec![
+            pf_spec::MeUser::new(regs, 0, 4),
+            pf_spec::MeUser::new(regs, 1, 4),
+        ];
+        add_live(
+            "PF 2-proc ME",
+            "2 procs, 4 sessions",
+            ModelChecker::new(layout, machines).check_always_terminable(),
+        );
+
+        let mut layout = Layout::new();
+        let shape =
+            llr_core::tournament::TreeShape::build(&mut layout, "T", 4, &[0, 1, 3]);
+        let machines: Vec<_> = [0u64, 1, 3]
+            .iter()
+            .map(|&p| tree_spec::TreeUser::new(shape.clone(), p, 2))
+            .collect();
+        add_live(
+            "tournament tree",
+            "S=4, 3 procs, 2 sessions",
+            ModelChecker::new(layout, machines).check_always_terminable(),
+        );
+
+        let mut layout = Layout::new();
+        let shape = llr_core::split::SplitShape::build(3, &mut layout);
+        let machines: Vec<_> = (0..2u64)
+            .map(|i| split_spec::SplitUser::new(shape.clone(), i * 71 + 5, 2))
+            .collect();
+        add_live(
+            "SPLIT",
+            "k=3, 2 procs, 2 sessions",
+            ModelChecker::new(layout, machines).check_always_terminable(),
+        );
+
+        let mut layout = Layout::new();
+        let shape =
+            llr_core::filter::FilterShape::build(tiny, &[1, 3], &mut layout).unwrap();
+        let machines: Vec<_> = [1u64, 3]
+            .iter()
+            .map(|&p| filter_spec::FilterUser::new(shape.clone(), p, 2))
+            .collect();
+        add_live(
+            "FILTER",
+            "k=2, contended first tree, 2 sessions",
+            ModelChecker::new(layout, machines).check_always_terminable(),
+        );
+
+        let mut layout = Layout::new();
+        let shape = llr_core::ma::MaShape::build(3, 3, &mut layout);
+        let machines: Vec<_> = [0u64, 1, 2]
+            .iter()
+            .map(|&p| ma_spec::MaUser::new(shape.clone(), p, 1))
+            .collect();
+        add_live(
+            "MA grid",
+            "k=3, 3 procs, 1 session",
+            ModelChecker::new(layout, machines).check_always_terminable(),
+        );
+
+        let mut layout = Layout::new();
+        let shape = llr_core::chain::spec::MiniChainShape::build(2, &mut layout);
+        let machines: Vec<_> = [3u64, 9]
+            .iter()
+            .map(|&p| llr_core::chain::spec::ChainUser::new(shape.clone(), p, 2))
+            .collect();
+        add_live(
+            "chain SPLIT→MA",
+            "k=2, 2 procs, 2 sessions",
+            ModelChecker::new(layout, machines).check_always_terminable(),
+        );
+    }
+    lt.finish();
+}

@@ -1,0 +1,93 @@
+//! E6 — the headline comparison: "fast" means cost independent of `S`.
+//! Sweep the source name space at fixed `k` and watch MA climb linearly
+//! while SPLIT stays constant and FILTER grows only with `⌈log S⌉`.
+
+use crate::common::{banner, Table};
+use llr_core::filter::Filter;
+use llr_core::harness::{stress, StressConfig};
+use llr_core::ma::MaGrid;
+use llr_core::split::Split;
+use llr_gf::FilterParams;
+
+fn pids_for(s: u64, n: usize) -> Vec<u64> {
+    (0..n as u64).map(|i| (i * (s / (n as u64 + 1)) + 1) % s).collect()
+}
+
+pub fn run() {
+    banner("E6 — cost vs S at fixed k = 3 (max accesses/op under contention)");
+    let k = 3usize;
+    let mut t = Table::new(
+        "e6_fast_vs_s",
+        &["S", "MA max acc", "FILTER max acc", "SPLIT max acc", "MA/FILTER ratio"],
+    );
+    let mut series = Vec::new();
+    for exp in [6u32, 8, 10, 12, 14, 16] {
+        let s = 1u64 << exp;
+        let pids = pids_for(s, k);
+
+        let ma = MaGrid::new(k, s);
+        let ma_rep = stress(
+            &ma,
+            &StressConfig {
+                pids: pids.clone(),
+                concurrency: k,
+                ops_per_thread: if exp <= 12 { 200 } else { 40 },
+                dwell_spins: 8,
+                seed: exp as u64,
+            },
+        );
+
+        let params = FilterParams::choose(k, s).unwrap();
+        let filter = Filter::new(params, &pids).unwrap();
+        let f_rep = stress(
+            &filter,
+            &StressConfig {
+                pids: pids.clone(),
+                concurrency: k,
+                ops_per_thread: 400,
+                dwell_spins: 8,
+                seed: exp as u64,
+            },
+        );
+
+        let split = Split::new(k);
+        let s_rep = stress(
+            &split,
+            &StressConfig {
+                pids,
+                concurrency: k,
+                ops_per_thread: 400,
+                dwell_spins: 8,
+                seed: exp as u64,
+            },
+        );
+
+        let ratio = format!(
+            "{:.1}",
+            ma_rep.max_accesses_per_op as f64 / f_rep.max_accesses_per_op as f64
+        );
+        t.row(&[
+            &s,
+            &ma_rep.max_accesses_per_op,
+            &f_rep.max_accesses_per_op,
+            &s_rep.max_accesses_per_op,
+            &ratio,
+        ]);
+        series.push((s, ma_rep.max_accesses_per_op, f_rep.max_accesses_per_op, s_rep.max_accesses_per_op));
+    }
+    t.finish();
+
+    // A small log-scale ASCII rendition of the figure.
+    println!("\n  accesses/op (log₂ bars): M = MA, F = FILTER, P = SPLIT");
+    for (s, ma, f, sp) in series {
+        let bar = |v: u64, ch: char| -> String {
+            let len = (v.max(1) as f64).log2().round() as usize;
+            std::iter::repeat_n(ch, len).collect()
+        };
+        println!("  S=2^{:<2} M {:<22} {}", (s as f64).log2() as u32, bar(ma, '█'), ma);
+        println!("        F {:<22} {}", bar(f, '▒'), f);
+        println!("        P {:<22} {}", bar(sp, '░'), sp);
+    }
+    println!("\nshape check: MA doubles with S (linear scan); SPLIT flat; FILTER");
+    println!("moves only with ⌈log S⌉ — the paper's definition of *fast*.");
+}

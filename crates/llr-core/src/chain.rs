@@ -1,0 +1,800 @@
+//! Chaining renaming protocols (Section 4.4 / Theorem 11).
+//!
+//! After acquiring a name from one long-lived renaming protocol, a process
+//! can use that name as its identity in a second protocol whose source
+//! space equals the first's destination space — and so on. Releasing goes
+//! **backwards** (last stage first): releasing the front stage first would
+//! let another process grab our intermediate name and enter a later stage
+//! with an identity we still occupy there.
+//!
+//! The paper's Theorem 11 pipeline, built by [`Chain::theorem11`]:
+//!
+//! ```text
+//! any S  ──SPLIT──▶  3^(k-1)  ──FILTER──▶  ≤ 2k⁴  ──FILTER──▶  ≤ 72k²  ──MA──▶  k(k+1)/2
+//!          O(k)       (d=⌈(k-2)/2⌉)  O(k³)    (d=3)   O(k log k)          O(k·k²)
+//! ```
+//!
+//! for long-lived renaming to the optimal-for-this-family `k(k+1)/2`
+//! names in `O(k³)` time, independent of `S`.
+//!
+//! # Example
+//!
+//! ```
+//! use llr_core::chain::Chain;
+//! use llr_core::traits::{Renaming, RenamingHandle};
+//!
+//! let chain = Chain::theorem11(3).unwrap();
+//! assert_eq!(chain.dest_size(), 6); // k(k+1)/2
+//! let mut h = chain.handle(0xFFFF_FFFF_FFFF); // any 64-bit id
+//! let name = h.acquire();
+//! assert!(name < 6);
+//! h.release();
+//! ```
+
+use crate::filter::{Filter, FilterHandle};
+use crate::ma::{MaGrid, MaHandle};
+use crate::split::{Split, SplitHandle};
+use crate::traits::{Renaming, RenamingHandle};
+use crate::types::{Name, Pid};
+use llr_gf::{FilterParams, ParamError};
+use std::fmt;
+
+/// One stage of a chain.
+#[derive(Debug)]
+pub enum Stage {
+    /// A SPLIT tree (any source space → `3^(k-1)`).
+    Split(Split),
+    /// A FILTER instance.
+    Filter(Filter),
+    /// An MA grid (final compaction to `k(k+1)/2`).
+    Ma(MaGrid),
+}
+
+impl Stage {
+    fn source_size(&self) -> u64 {
+        match self {
+            Stage::Split(s) => s.source_size(),
+            Stage::Filter(f) => f.source_size(),
+            Stage::Ma(m) => m.source_size(),
+        }
+    }
+
+    fn dest_size(&self) -> u64 {
+        match self {
+            Stage::Split(s) => s.dest_size(),
+            Stage::Filter(f) => f.dest_size(),
+            Stage::Ma(m) => m.dest_size(),
+        }
+    }
+
+    fn handle(&self, pid: Pid) -> StageHandle<'_> {
+        match self {
+            Stage::Split(s) => StageHandle::Split(s.handle(pid)),
+            Stage::Filter(f) => StageHandle::Filter(f.handle(pid)),
+            Stage::Ma(m) => StageHandle::Ma(m.handle(pid)),
+        }
+    }
+}
+
+/// A per-process handle on one stage.
+#[derive(Debug)]
+enum StageHandle<'a> {
+    Split(SplitHandle<'a>),
+    Filter(FilterHandle<'a>),
+    Ma(MaHandle<'a>),
+}
+
+impl StageHandle<'_> {
+    fn acquire(&mut self) -> Name {
+        match self {
+            StageHandle::Split(h) => h.acquire(),
+            StageHandle::Filter(h) => h.acquire(),
+            StageHandle::Ma(h) => h.acquire(),
+        }
+    }
+
+    fn release(&mut self) {
+        match self {
+            StageHandle::Split(h) => h.release(),
+            StageHandle::Filter(h) => h.release(),
+            StageHandle::Ma(h) => h.release(),
+        }
+    }
+
+    fn accesses(&self) -> u64 {
+        match self {
+            StageHandle::Split(h) => h.accesses(),
+            StageHandle::Filter(h) => h.accesses(),
+            StageHandle::Ma(h) => h.accesses(),
+        }
+    }
+}
+
+/// Errors from chain construction.
+#[derive(Debug)]
+pub enum ChainError {
+    /// A later stage's source space is smaller than its predecessor's
+    /// destination space.
+    Mismatch {
+        /// Index of the offending stage.
+        stage: usize,
+        /// The predecessor's destination size.
+        upstream_dest: u64,
+        /// This stage's source size.
+        source: u64,
+    },
+    /// The chain has no stages.
+    Empty,
+    /// Building a FILTER stage's parameters failed.
+    Params(ParamError),
+    /// Building a FILTER stage failed.
+    Filter(crate::filter::FilterError),
+}
+
+impl fmt::Display for ChainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChainError::Mismatch {
+                stage,
+                upstream_dest,
+                source,
+            } => write!(
+                f,
+                "stage {stage} accepts {source} source names but receives {upstream_dest}"
+            ),
+            ChainError::Empty => write!(f, "a chain needs at least one stage"),
+            ChainError::Params(e) => write!(f, "parameter selection failed: {e}"),
+            ChainError::Filter(e) => write!(f, "filter construction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+impl From<ParamError> for ChainError {
+    fn from(e: ParamError) -> Self {
+        ChainError::Params(e)
+    }
+}
+
+impl From<crate::filter::FilterError> for ChainError {
+    fn from(e: crate::filter::FilterError) -> Self {
+        ChainError::Filter(e)
+    }
+}
+
+/// A pipeline of long-lived renaming stages acting as a single long-lived
+/// renaming object.
+#[derive(Debug)]
+pub struct Chain {
+    stages: Vec<Stage>,
+    k: usize,
+}
+
+impl Chain {
+    /// Builds a chain from explicit stages, validating that each stage's
+    /// source space covers its predecessor's destination space.
+    ///
+    /// # Errors
+    ///
+    /// See [`ChainError`].
+    pub fn from_stages(k: usize, stages: Vec<Stage>) -> Result<Self, ChainError> {
+        if stages.is_empty() {
+            return Err(ChainError::Empty);
+        }
+        for (i, pair) in stages.windows(2).enumerate() {
+            let upstream_dest = pair[0].dest_size();
+            let source = pair[1].source_size();
+            if source < upstream_dest {
+                return Err(ChainError::Mismatch {
+                    stage: i + 1,
+                    upstream_dest,
+                    source,
+                });
+            }
+        }
+        Ok(Self { stages, k })
+    }
+
+    /// The Theorem 11 pipeline: SPLIT → FILTER(`S ≤ 3^(k-1)`) →
+    /// FILTER(`S ≤ 2k⁴`) → MA, renaming any 64-bit source space to
+    /// `k(k+1)/2` names in `O(k³)` time.
+    ///
+    /// For `k = 1` the pipeline is just SPLIT (which already renames to a
+    /// single name).
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter-selection and construction failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` exceeds [`crate::split::MAX_K`] (the SPLIT tree and
+    /// the full intermediate registration become enormous well before
+    /// that).
+    pub fn theorem11(k: usize) -> Result<Self, ChainError> {
+        let split = Split::new(k);
+        if k == 1 {
+            return Self::from_stages(k, vec![Stage::Split(split)]);
+        }
+        let d1 = split.dest_size(); // 3^(k-1)
+        let p1 = FilterParams::exponential3(k)?;
+        let f1 = Filter::new(p1, &all_pids(d1))?;
+        let d2 = f1.dest_size();
+        let p2 = FilterParams::choose(k, d2)?;
+        let f2 = Filter::new(p2, &all_pids(d2))?;
+        let d3 = f2.dest_size();
+        let ma = MaGrid::new(k, d3);
+        Self::from_stages(
+            k,
+            vec![
+                Stage::Split(split),
+                Stage::Filter(f1),
+                Stage::Filter(f2),
+                Stage::Ma(ma),
+            ],
+        )
+    }
+
+    /// The paper's §4.4 observation "applying FILTER twice yields
+    /// `D ∈ O(k²)`": FILTER(chosen for `S`) → FILTER(chosen for the first
+    /// stage's output), for a source space already polynomial in `k`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter-selection and construction failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s > 250_000`: this convenience constructor registers
+    /// every source id with the first stage (so any pid may participate),
+    /// which is only sensible for the poly(k)-sized source spaces the
+    /// observation is about. For larger spaces, build the stages with an
+    /// explicit participant set and [`Chain::from_stages`].
+    pub fn double_filter(k: usize, s: u64) -> Result<Self, ChainError> {
+        assert!(
+            s <= 250_000,
+            "double_filter registers all {s} source ids; use from_stages \
+             with an explicit participant set for large source spaces"
+        );
+        let p1 = FilterParams::choose(k, s)?;
+        let f1 = Filter::new(p1, &all_pids(s))?;
+        let d1 = f1.dest_size();
+        let p2 = FilterParams::choose(k, d1)?;
+        let f2 = Filter::new(p2, &all_pids(d1))?;
+        Self::from_stages(k, vec![Stage::Filter(f1), Stage::Filter(f2)])
+    }
+
+    /// A cheaper two-stage variant for measurements: SPLIT → MA. Same
+    /// destination space as Theorem 11 but with the MA stage scanning
+    /// `3^(k-1)` presence slots, illustrating why the intermediate FILTER
+    /// stages pay off for larger `k`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction failures.
+    pub fn split_ma(k: usize) -> Result<Self, ChainError> {
+        let split = Split::new(k);
+        let d1 = split.dest_size();
+        let ma = MaGrid::new(k, d1);
+        Self::from_stages(k, vec![Stage::Split(split), Stage::Ma(ma)])
+    }
+
+    /// The stages of this chain.
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+
+    /// Destination sizes after each stage (the "name-space funnel").
+    pub fn funnel(&self) -> Vec<u64> {
+        self.stages.iter().map(Stage::dest_size).collect()
+    }
+}
+
+fn all_pids(n: u64) -> Vec<Pid> {
+    (0..n).collect()
+}
+
+impl Renaming for Chain {
+    type Handle<'a> = ChainHandle<'a>;
+
+    fn handle(&self, pid: Pid) -> ChainHandle<'_> {
+        ChainHandle {
+            chain: self,
+            pid,
+            inner: Vec::new(),
+            held: None,
+            retired_accesses: 0,
+        }
+    }
+
+    fn source_size(&self) -> u64 {
+        self.stages[0].source_size()
+    }
+
+    fn dest_size(&self) -> u64 {
+        self.stages.last().expect("nonempty").dest_size()
+    }
+
+    fn concurrency(&self) -> usize {
+        self.k
+    }
+}
+
+/// Process handle on a [`Chain`].
+#[derive(Debug)]
+pub struct ChainHandle<'a> {
+    chain: &'a Chain,
+    pid: Pid,
+    inner: Vec<StageHandle<'a>>,
+    held: Option<Name>,
+    /// Accesses from stage handles already retired by past releases.
+    retired_accesses: u64,
+}
+
+impl ChainHandle<'_> {
+    /// The intermediate names acquired at each stage during the current
+    /// hold (diagnostic).
+    pub fn stage_names(&self) -> Vec<Option<Name>> {
+        self.inner
+            .iter()
+            .map(|h| match h {
+                StageHandle::Split(h) => h.held(),
+                StageHandle::Filter(h) => h.held(),
+                StageHandle::Ma(h) => h.held(),
+            })
+            .collect()
+    }
+}
+
+impl RenamingHandle for ChainHandle<'_> {
+    fn acquire(&mut self) -> Name {
+        assert!(self.held.is_none(), "acquire while holding a name");
+        let mut id = self.pid;
+        for stage in &self.chain.stages {
+            let mut h = stage.handle(id);
+            id = h.acquire();
+            self.inner.push(h);
+        }
+        self.held = Some(id);
+        id
+    }
+
+    fn release(&mut self) {
+        assert!(self.held.is_some(), "release without holding a name");
+        self.held = None;
+        // Last stage first: our intermediate names stay reserved upstream
+        // until every downstream identity built on them is gone.
+        while let Some(mut h) = self.inner.pop() {
+            h.release();
+            self.retired_accesses += h.accesses();
+        }
+    }
+
+    fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    fn held(&self) -> Option<Name> {
+        self.held
+    }
+
+    fn accesses(&self) -> u64 {
+        self.retired_accesses + self.inner.iter().map(StageHandle::accesses).sum::<u64>()
+    }
+}
+
+pub mod spec {
+    //! Model-checkable specification of stage composition: a two-stage
+    //! SPLIT → MA chain in one register file, exhaustively checked for
+    //! end-to-end name uniqueness — including the subtle part, the
+    //! *backwards* release order (MA name first, SPLIT name second).
+
+    use crate::ma::{MaAcquire, MaRelease, MaShape};
+    use crate::split::{PathEntry, SplitAcquire, SplitRelease, SplitShape};
+    use crate::types::{Name, Pid};
+    use llr_mc::{CheckStats, MachineStatus, ModelChecker, StepMachine, Violation, World};
+    use llr_mem::{Layout, Memory, Word};
+
+    /// Register layout of a SPLIT → MA mini-chain.
+    #[derive(Clone, Debug)]
+    pub struct MiniChainShape {
+        split: SplitShape,
+        ma: MaShape,
+    }
+
+    impl MiniChainShape {
+        /// Allocates both stages in one layout: SPLIT for concurrency
+        /// `k`, MA over SPLIT's `3^(k-1)` output names.
+        pub fn build(k: usize, layout: &mut Layout) -> Self {
+            let split = SplitShape::build(k, layout);
+            let ma = MaShape::build(k, 3u64.pow(k as u32 - 1), layout);
+            Self { split, ma }
+        }
+    }
+
+    #[derive(Clone, Debug)]
+    enum Phase {
+        Idle,
+        SplitAcq(SplitAcquire),
+        MaAcq {
+            split_path: Vec<PathEntry>,
+            intermediate: Pid,
+            m: MaAcquire,
+        },
+        Holding {
+            split_path: Vec<PathEntry>,
+            intermediate: Pid,
+            cell: (usize, usize),
+            name: Name,
+        },
+        /// Releasing the SPLIT stage (the MA stage, a single write, was
+        /// released on the transition out of `Holding` — backwards order).
+        SplitRel(SplitRelease),
+    }
+
+    /// A process cycling through the two-stage chain.
+    #[derive(Clone, Debug)]
+    pub struct ChainUser {
+        shape: MiniChainShape,
+        pid: Pid,
+        sessions_left: u8,
+        phase: Phase,
+    }
+
+    impl ChainUser {
+        /// A chain user with identity `pid` doing `sessions` cycles.
+        pub fn new(shape: MiniChainShape, pid: Pid, sessions: u8) -> Self {
+            Self {
+                shape,
+                pid,
+                sessions_left: sessions,
+                phase: Phase::Idle,
+            }
+        }
+
+        /// The final (MA-stage) name currently held.
+        pub fn holding(&self) -> Option<Name> {
+            match &self.phase {
+                Phase::Holding { name, .. } => Some(*name),
+                _ => None,
+            }
+        }
+    }
+
+    impl StepMachine for ChainUser {
+        fn step(&mut self, mem: &dyn Memory) -> MachineStatus {
+            match &mut self.phase {
+                Phase::Idle => {
+                    let mut m = SplitAcquire::new(self.shape.split.clone(), self.pid);
+                    match m.step(mem) {
+                        Some(intermediate) => {
+                            // k = 1: zero-access SPLIT stage.
+                            let split_path = m.into_path();
+                            self.phase = Phase::MaAcq {
+                                split_path,
+                                intermediate,
+                                m: MaAcquire::new(self.shape.ma.clone(), intermediate),
+                            };
+                        }
+                        None => self.phase = Phase::SplitAcq(m),
+                    }
+                    MachineStatus::Running
+                }
+                Phase::SplitAcq(m) => {
+                    if let Some(intermediate) = m.step(mem) {
+                        let split_path =
+                            std::mem::replace(m, SplitAcquire::new(self.shape.split.clone(), 0))
+                                .into_path();
+                        self.phase = Phase::MaAcq {
+                            split_path,
+                            intermediate,
+                            m: MaAcquire::new(self.shape.ma.clone(), intermediate),
+                        };
+                    }
+                    MachineStatus::Running
+                }
+                Phase::MaAcq {
+                    split_path,
+                    intermediate,
+                    m,
+                } => {
+                    if let Some(name) = m.step(mem) {
+                        self.phase = Phase::Holding {
+                            split_path: std::mem::take(split_path),
+                            intermediate: *intermediate,
+                            cell: m.stopped_at().expect("stopped"),
+                            name,
+                        };
+                    }
+                    MachineStatus::Running
+                }
+                Phase::Holding {
+                    split_path,
+                    intermediate,
+                    cell,
+                    ..
+                } => {
+                    // Backwards release: the MA name goes first, under the
+                    // intermediate (SPLIT-stage) identity it was acquired
+                    // with; the single release write happens on this step,
+                    // and the SPLIT-stage release starts on the next one.
+                    let mut m = MaRelease::new(self.shape.ma.clone(), *intermediate, *cell);
+                    let split_path = std::mem::take(split_path);
+                    let done = m.step(mem);
+                    debug_assert!(done, "MA release is a single write");
+                    self.phase = Phase::SplitRel(SplitRelease::new(
+                        self.shape.split.clone(),
+                        self.pid,
+                        split_path,
+                    ));
+                    MachineStatus::Running
+                }
+                Phase::SplitRel(r) => {
+                    if r.step(mem) {
+                        self.finish_session()
+                    } else {
+                        MachineStatus::Running
+                    }
+                }
+            }
+        }
+
+        fn key(&self, out: &mut Vec<Word>) {
+            out.push(self.sessions_left as u64);
+            match &self.phase {
+                Phase::Idle => out.push(0),
+                Phase::SplitAcq(m) => {
+                    out.push(1);
+                    m.key(out);
+                }
+                Phase::MaAcq {
+                    m,
+                    split_path,
+                    intermediate,
+                } => {
+                    out.push(2);
+                    out.push(*intermediate);
+                    m.key(out);
+                    for e in split_path {
+                        out.push(e.advice.word());
+                        out.push(u64::from(e.adv2));
+                    }
+                }
+                Phase::Holding {
+                    name,
+                    cell,
+                    split_path,
+                    intermediate,
+                } => {
+                    out.push(3);
+                    out.push(*intermediate);
+                    out.push(*name);
+                    out.push(cell.0 as u64);
+                    out.push(cell.1 as u64);
+                    for e in split_path {
+                        out.push(e.advice.word());
+                        out.push(u64::from(e.adv2));
+                    }
+                }
+                Phase::SplitRel(r) => {
+                    out.push(5);
+                    r.key(out);
+                }
+            }
+        }
+
+        fn describe(&self) -> String {
+            let phase = match &self.phase {
+                Phase::Idle => "Idle".into(),
+                Phase::SplitAcq(m) => format!("S1:{}", m.describe()),
+                Phase::MaAcq { m, .. } => format!("S2:{}", m.describe()),
+                Phase::Holding { name, .. } => format!("Holding({name})"),
+                Phase::SplitRel(r) => format!("S1:{}", r.describe()),
+            };
+            format!("p{}:{phase} ({} left)", self.pid, self.sessions_left)
+        }
+    }
+
+    impl ChainUser {
+        fn finish_session(&mut self) -> MachineStatus {
+            self.sessions_left -= 1;
+            self.phase = Phase::Idle;
+            if self.sessions_left == 0 {
+                MachineStatus::Done
+            } else {
+                MachineStatus::Running
+            }
+        }
+    }
+
+    /// Final names held concurrently are pairwise distinct and in range.
+    pub fn unique_names_invariant(world: &World<'_, ChainUser>) -> Result<(), String> {
+        let mut held = std::collections::HashMap::new();
+        for (i, m) in world.machines.iter().enumerate() {
+            if let Some(name) = m.holding() {
+                let d = (m.shape.ma.k() * (m.shape.ma.k() + 1) / 2) as u64;
+                if name >= d {
+                    return Err(format!("machine {i} holds out-of-range name {name}"));
+                }
+                if let Some(j) = held.insert(name, i) {
+                    return Err(format!(
+                        "machines {j} and {i} concurrently hold chain name {name}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Exhaustively checks end-to-end uniqueness of a SPLIT → MA chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violating schedule if composition can break.
+    pub fn check_mini_chain(
+        k: usize,
+        pids: &[Pid],
+        sessions: u8,
+    ) -> Result<CheckStats, Box<Violation>> {
+        let mut layout = Layout::new();
+        let shape = MiniChainShape::build(k, &mut layout);
+        let machines: Vec<ChainUser> = pids
+            .iter()
+            .map(|&p| ChainUser::new(shape.clone(), p, sessions))
+            .collect();
+        match ModelChecker::new(layout, machines).check(unique_names_invariant) {
+            Ok(stats) => Ok(stats),
+            Err(llr_mc::CheckError::Violation(v)) => Err(v),
+            Err(e @ llr_mc::CheckError::StateLimit { .. }) => {
+                panic!("chain exploration exceeded the state budget: {e}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::test_support::sequential_cycle;
+
+    #[test]
+    fn exhaustive_mini_chain_k2() {
+        let stats = spec::check_mini_chain(2, &[3, 9], 2).unwrap();
+        assert!(stats.states > 1_000, "got {}", stats.states);
+    }
+
+    #[test]
+    fn exhaustive_mini_chain_always_terminable() {
+        let mut layout = llr_mem::Layout::new();
+        let shape = spec::MiniChainShape::build(2, &mut layout);
+        let machines: Vec<spec::ChainUser> = [3u64, 9]
+            .iter()
+            .map(|&p| spec::ChainUser::new(shape.clone(), p, 1))
+            .collect();
+        let stats = llr_mc::ModelChecker::new(layout, machines)
+            .check_always_terminable()
+            .expect("chained stages are wait-free: no trap states");
+        assert!(stats.terminal_states >= 1);
+    }
+
+    #[test]
+    #[ignore = "large state space; run via the e2_modelcheck binary in release mode"]
+    fn exhaustive_mini_chain_k2_three_procs_is_overloaded() {
+        // Deliberately NOT run by default: 3 procs exceed k = 2 and the
+        // protocols' assumptions no longer hold.
+        let _ = spec::check_mini_chain(2, &[3, 9, 12], 1);
+    }
+
+    #[test]
+    fn theorem11_funnel_shrinks_to_triangle() {
+        for k in 2..=4usize {
+            let chain = Chain::theorem11(k).unwrap();
+            let funnel = chain.funnel();
+            assert_eq!(chain.dest_size(), (k * (k + 1) / 2) as u64);
+            // Monotone non-increasing funnel after the first stage is not
+            // guaranteed for tiny k, but the end is the triangle number.
+            assert_eq!(*funnel.last().unwrap(), (k * (k + 1) / 2) as u64);
+            assert_eq!(chain.source_size(), u64::MAX);
+        }
+    }
+
+    #[test]
+    fn sequential_cycles_through_the_pipeline() {
+        let chain = Chain::theorem11(3).unwrap();
+        let pids = [5u64, 1 << 40, u64::MAX - 3];
+        let (names, _) = sequential_cycle(&chain, &pids);
+        for n in names {
+            assert!(n < 6);
+        }
+    }
+
+    #[test]
+    fn concurrent_holders_distinct() {
+        let chain = Chain::theorem11(3).unwrap();
+        let mut hs: Vec<_> = [7u64, 1 << 33, 12345]
+            .iter()
+            .map(|&p| chain.handle(p))
+            .collect();
+        let names: Vec<Name> = hs.iter_mut().map(|h| h.acquire()).collect();
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), 3, "duplicate final names: {names:?}");
+        for h in &mut hs {
+            assert!(h.stage_names().iter().all(Option::is_some));
+            h.release();
+        }
+    }
+
+    #[test]
+    fn k1_chain() {
+        let chain = Chain::theorem11(1).unwrap();
+        assert_eq!(chain.dest_size(), 1);
+        let mut h = chain.handle(99);
+        assert_eq!(h.acquire(), 0);
+        h.release();
+    }
+
+    #[test]
+    fn split_ma_variant() {
+        let chain = Chain::split_ma(3).unwrap();
+        assert_eq!(chain.dest_size(), 6);
+        let (names, _) = sequential_cycle(&chain, &[0, 42, 999]);
+        for n in names {
+            assert!(n < 6);
+        }
+    }
+
+    #[test]
+    fn mismatched_stages_rejected() {
+        // MA stage too small for SPLIT's output space.
+        let split = Split::new(4); // D = 27
+        let ma = MaGrid::new(4, 9);
+        match Chain::from_stages(4, vec![Stage::Split(split), Stage::Ma(ma)]) {
+            Err(ChainError::Mismatch {
+                stage: 1,
+                upstream_dest: 27,
+                source: 9,
+            }) => {}
+            other => panic!("expected mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_chain_rejected() {
+        assert!(matches!(
+            Chain::from_stages(2, vec![]),
+            Err(ChainError::Empty)
+        ));
+    }
+
+    #[test]
+    fn threads_cycle_concurrently() {
+        let chain = std::sync::Arc::new(Chain::theorem11(3).unwrap());
+        let claimed: std::sync::Arc<Vec<std::sync::atomic::AtomicBool>> = std::sync::Arc::new(
+            (0..chain.dest_size())
+                .map(|_| std::sync::atomic::AtomicBool::new(false))
+                .collect(),
+        );
+        let hs: Vec<_> = [3u64, 1 << 50, 777]
+            .iter()
+            .map(|&p| {
+                let chain = std::sync::Arc::clone(&chain);
+                let claimed = std::sync::Arc::clone(&claimed);
+                std::thread::spawn(move || {
+                    let mut h = chain.handle(p);
+                    for _ in 0..25 {
+                        let n = h.acquire();
+                        let was = claimed[n as usize]
+                            .swap(true, std::sync::atomic::Ordering::SeqCst);
+                        assert!(!was, "name {n} double-held");
+                        claimed[n as usize].store(false, std::sync::atomic::Ordering::SeqCst);
+                        h.release();
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+    }
+}

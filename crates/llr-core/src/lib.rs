@@ -1,0 +1,60 @@
+//! Fast, wait-free, read/write **long-lived renaming** — a full
+//! reproduction of Buhrman, Garay, Hoepman & Moir, "Long-Lived Renaming
+//! Made Fast" (1995).
+//!
+//! `n` processes with unique ids from a large *source* name space
+//! `{0..S-1}` repeatedly acquire and release names from a small
+//! *destination* name space `{0..D-1}`; at most `k` processes hold or
+//! request names concurrently. Everything here uses only atomic reads and
+//! writes, and every operation is wait-free.
+//!
+//! # Protocols
+//!
+//! | Protocol | Destination size | GetName cost | Fast? |
+//! |---|---|---|---|
+//! | [`split::Split`] | `3^(k-1)` | `O(k)` | yes |
+//! | [`filter::Filter`] | `2zd(k-1)` (≤ `72k²` for `S ≤ 2k⁴`) | `O(dk log S)` | yes (for `S` poly in `k`) |
+//! | [`ma::MaGrid`] | `k(k+1)/2` | `O(kS)` | **no** (the baseline) |
+//! | [`chain::Chain`] | `k(k+1)/2` | `O(k³)` | yes (Theorem 11) |
+//! | [`onetime::OneTimeGrid`] | `k(k+1)/2` | `O(k)` | yes, but one-shot |
+//!
+//! # Architecture
+//!
+//! Every protocol is implemented once, as an explicit *step machine* (one
+//! shared-memory access per step — the paper's atomicity granularity) over
+//! the [`llr_mem`] register substrate. The same machine:
+//!
+//! * runs on real threads over [`llr_mem::AtomicMemory`] through the
+//!   [`traits::Renaming`] handle API, and
+//! * is **exhaustively model-checked** with [`llr_mc`] (all interleavings
+//!   of small configurations) — see the `spec` items in each module.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use llr_core::split::Split;
+//! use llr_core::traits::{Renaming, RenamingHandle};
+//!
+//! // k = 3 concurrent processes out of a huge source space.
+//! let split = Split::new(3);
+//! let mut h = split.handle(123_456_789);
+//! let name = h.acquire();
+//! assert!(name < split.dest_size()); // < 3^(k-1) = 9
+//! h.release();
+//! ```
+
+pub mod chain;
+pub mod filter;
+pub mod harness;
+pub mod ma;
+pub mod onetime;
+pub mod pf;
+pub mod split;
+pub mod splitter;
+pub mod tas;
+pub mod tournament;
+pub mod traits;
+pub mod types;
+
+pub use traits::{Renaming, RenamingHandle};
+pub use types::{Direction, Name, Pid};

@@ -1,0 +1,725 @@
+//! The MA baseline: Moir–Anderson-style long-lived renaming to
+//! `k(k+1)/2` names with `Θ(k·S)` time — deliberately **not fast**.
+//!
+//! The paper's headline contribution is that SPLIT and FILTER beat this:
+//! Moir & Anderson's only read/write long-lived renaming protocol costs
+//! `O(k·S)` per `GetName` because every grid building block consults
+//! per-source-name state. This module reproduces that baseline so the
+//! benchmarks can regenerate the comparison (experiment E6: MA's cost
+//! climbs linearly with `S` while SPLIT/FILTER stay flat).
+//!
+//! # The grid
+//!
+//! Names are the cells of a triangular grid: rows `r` and columns `c` with
+//! `r + c ≤ k - 1`, numbered `name(r,c) = r·k − r(r−1)/2 + c`. A process
+//! walks from `(0,0)`; at each cell a building block partitions entrants
+//! into **Stop** (take this cell's name), **Right** `(r, c+1)` and
+//! **Down** `(r+1, c)`. Each move shrinks the set of companions, so the
+//! walk stops within `k` cells.
+//!
+//! # The building block (reconstruction)
+//!
+//! \[MA94\] itself is cited by, but not contained in, our source text, so
+//! the block is a reconstruction with the baseline's two defining
+//! properties:
+//!
+//! * **at most one process stops at a block at any time** — this is name
+//!   uniqueness, and it holds *unconditionally* here (exhaustively
+//!   verified in [`spec`]): a would-be stopper writes `X`, scans the
+//!   `S`-slot presence array `Y` (any set bit → Right), publishes
+//!   `Y[p] ← true`, and re-reads `X`; two concurrent stoppers would each
+//!   have had to see the other's still-published bit or a foreign `X`;
+//! * **`Θ(S)` accesses per block** — the scan. This is exactly why MA is
+//!   not fast and is the cost shape the paper's comparison relies on.
+//!
+//! One honest deviation (see DESIGN.md §2): the one-time grid's occupancy
+//! argument does not survive naive reuse, so a walk that falls off the
+//! diagonal (possible only under adversarial release timing) restarts
+//! from `(0,0)`. Uniqueness is unaffected; a tripwire panics if restarts
+//! ever exceed a generous bound.
+//!
+//! # Example
+//!
+//! ```
+//! use llr_core::ma::MaGrid;
+//! use llr_core::traits::{Renaming, RenamingHandle};
+//!
+//! let ma = MaGrid::new(3, 64); // k = 3 out of S = 64 source names
+//! assert_eq!(ma.dest_size(), 6); // k(k+1)/2
+//! let mut h = ma.handle(17);
+//! let name = h.acquire();
+//! assert!(name < 6);
+//! h.release();
+//! ```
+
+use crate::traits::{Renaming, RenamingHandle};
+use crate::types::enc::{FALSE, TRUE};
+use crate::types::{Name, Pid};
+use llr_mem::{ArrayLoc, AtomicMemory, Counting, Layout, Loc, Memory, Word};
+use std::sync::Arc;
+
+/// Outcome of one building-block access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// Take this cell's name.
+    Stop,
+    /// Move to `(r, c+1)`.
+    Right,
+    /// Move to `(r+1, c)`.
+    Down,
+}
+
+/// Registers of one grid building block.
+#[derive(Clone, Debug)]
+pub struct BlockRegs {
+    /// Last entrant's pid (initialized to the invalid pid `S`).
+    pub x: Loc,
+    /// Presence bits, one per source name.
+    pub y: ArrayLoc,
+}
+
+impl BlockRegs {
+    /// Allocates a block for a source space of size `s`.
+    pub fn allocate(layout: &mut Layout, name: &str, s: u64) -> Self {
+        Self {
+            x: layout.scalar(format!("{name}.X"), s),
+            y: layout.array(format!("{name}.Y"), s as usize, FALSE),
+        }
+    }
+}
+
+/// The static shape of an MA grid. Cheap to clone.
+#[derive(Clone, Debug)]
+pub struct MaShape {
+    k: usize,
+    s: u64,
+    blocks: Arc<[BlockRegs]>,
+}
+
+impl MaShape {
+    /// Allocates the triangular grid in `layout`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k = 0` or `s < 1`.
+    pub fn build(k: usize, s: u64, layout: &mut Layout) -> Self {
+        assert!(k >= 1, "concurrency bound k must be at least 1");
+        assert!(s >= 1, "source space must be non-empty");
+        let mut blocks = Vec::with_capacity(k * (k + 1) / 2);
+        for r in 0..k {
+            for c in 0..k - r {
+                blocks.push(BlockRegs::allocate(layout, &format!("G{r}_{c}"), s));
+            }
+        }
+        Self {
+            k,
+            s,
+            blocks: blocks.into(),
+        }
+    }
+
+    /// The concurrency bound `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The source space size `S`.
+    pub fn s(&self) -> u64 {
+        self.s
+    }
+
+    /// The name of cell `(r, c)`: `r·k − r(r−1)/2 + c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(r, c)` is outside the triangle.
+    pub fn cell_name(&self, r: usize, c: usize) -> Name {
+        assert!(r + c < self.k, "({r},{c}) outside the grid triangle");
+        (r * self.k - r * r.saturating_sub(1) / 2 + c) as Name
+    }
+
+    /// The block registers of cell `(r, c)`.
+    pub fn block(&self, r: usize, c: usize) -> &BlockRegs {
+        &self.blocks[self.cell_name(r, c) as usize]
+    }
+}
+
+/// Program counter within one building-block access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum BlockPc {
+    /// `X ← p`.
+    WriteX,
+    /// Scan `Y[i]`; any set bit (other than our own slot) → Right.
+    Scan(u64),
+    /// `Y[p] ← true` (stop candidacy).
+    PublishY,
+    /// Re-read `X`; foreign → withdraw, Down; ours → Stop.
+    ReadX,
+    /// `Y[p] ← false` before returning Down.
+    WithdrawY,
+}
+
+/// `GetName` as a step machine: walk the grid, one shared access per step.
+#[derive(Clone, Debug)]
+pub struct MaAcquire {
+    shape: MaShape,
+    pid: Pid,
+    r: usize,
+    c: usize,
+    pc: BlockPc,
+    restarts: u64,
+    name: Option<Name>,
+}
+
+/// Restart tripwire: exceeded only if the grid is kept churning by an
+/// adversarial scheduler for this long.
+const MAX_RESTARTS: u64 = 100_000;
+
+impl MaAcquire {
+    /// Starts a `GetName` for process `pid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid ≥ S`.
+    pub fn new(shape: MaShape, pid: Pid) -> Self {
+        assert!(pid < shape.s, "pid {pid} outside source space {}", shape.s);
+        Self {
+            shape,
+            pid,
+            r: 0,
+            c: 0,
+            pc: BlockPc::WriteX,
+            restarts: 0,
+            name: None,
+        }
+    }
+
+    /// Executes one atomic statement; returns the acquired name when done.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the walk restarts more than a generous tripwire bound
+    /// (possible only under sustained adversarial scheduling).
+    pub fn step(&mut self, mem: &dyn Memory) -> Option<Name> {
+        if let Some(name) = self.name {
+            return Some(name);
+        }
+        let block = self.shape.block(self.r, self.c).clone();
+        match self.pc {
+            BlockPc::WriteX => {
+                mem.write(block.x, self.pid);
+                self.pc = BlockPc::Scan(0);
+                None
+            }
+            BlockPc::Scan(i) => {
+                // Skip our own slot (it can only be stale-free: we cleared
+                // it before leaving any block).
+                if i == self.pid {
+                    self.pc = BlockPc::Scan(i + 1);
+                    return self.step(mem);
+                }
+                if i >= self.shape.s {
+                    self.pc = BlockPc::PublishY;
+                    return self.step(mem);
+                }
+                if mem.read(block.y.at(i as usize)) == TRUE {
+                    self.move_to(Outcome::Right);
+                } else {
+                    self.pc = BlockPc::Scan(i + 1);
+                }
+                None
+            }
+            BlockPc::PublishY => {
+                mem.write(block.y.at(self.pid as usize), TRUE);
+                self.pc = BlockPc::ReadX;
+                None
+            }
+            BlockPc::ReadX => {
+                if mem.read(block.x) == self.pid {
+                    // Stop: this cell's name is ours; our Y bit stays set
+                    // until release.
+                    self.name = Some(self.shape.cell_name(self.r, self.c));
+                    return self.name;
+                }
+                self.pc = BlockPc::WithdrawY;
+                None
+            }
+            BlockPc::WithdrawY => {
+                mem.write(block.y.at(self.pid as usize), FALSE);
+                self.move_to(Outcome::Down);
+                None
+            }
+        }
+    }
+
+    /// Local move to the next cell (or restart from the origin when the
+    /// walk falls off the diagonal).
+    fn move_to(&mut self, outcome: Outcome) {
+        let (nr, nc) = match outcome {
+            Outcome::Right => (self.r, self.c + 1),
+            Outcome::Down => (self.r + 1, self.c),
+            Outcome::Stop => unreachable!("stop is terminal"),
+        };
+        if nr + nc > self.shape.k - 1 {
+            self.restarts += 1;
+            assert!(
+                self.restarts <= MAX_RESTARTS,
+                "MA grid walk restarted {} times; the concurrency bound \
+                 k = {} is being violated or the scheduler is adversarial",
+                self.restarts,
+                self.shape.k
+            );
+            self.r = 0;
+            self.c = 0;
+        } else {
+            self.r = nr;
+            self.c = nc;
+        }
+        self.pc = BlockPc::WriteX;
+    }
+
+    /// Grid-walk restarts performed so far (0 in every non-adversarial
+    /// execution we have observed).
+    pub fn restarts(&self) -> u64 {
+        self.restarts
+    }
+
+    /// The cell whose name was acquired, if complete.
+    pub fn stopped_at(&self) -> Option<(usize, usize)> {
+        self.name.map(|_| (self.r, self.c))
+    }
+
+    /// Encodes machine state for model-checker keys.
+    pub fn key(&self, out: &mut Vec<Word>) {
+        out.push(self.r as u64);
+        out.push(self.c as u64);
+        out.push(self.restarts);
+        out.push(self.name.map_or(u64::MAX, |n| n));
+        match self.pc {
+            BlockPc::WriteX => out.push(0),
+            BlockPc::Scan(i) => {
+                out.push(1);
+                out.push(i);
+            }
+            BlockPc::PublishY => out.push(2),
+            BlockPc::ReadX => out.push(3),
+            BlockPc::WithdrawY => out.push(4),
+        }
+    }
+
+    /// Short state description for traces.
+    pub fn describe(&self) -> String {
+        format!("Acquire@({},{}) {:?}", self.r, self.c, self.pc)
+    }
+}
+
+/// `ReleaseName` as a step machine: clear the stop cell's presence bit
+/// (one write).
+#[derive(Clone, Debug)]
+pub struct MaRelease {
+    shape: MaShape,
+    pid: Pid,
+    cell: (usize, usize),
+    done: bool,
+}
+
+impl MaRelease {
+    /// Starts releasing the name of `cell`.
+    pub fn new(shape: MaShape, pid: Pid, cell: (usize, usize)) -> Self {
+        Self {
+            shape,
+            pid,
+            cell,
+            done: false,
+        }
+    }
+
+    /// Executes the single release write; returns `true` when done.
+    pub fn step(&mut self, mem: &dyn Memory) -> bool {
+        if !self.done {
+            let block = self.shape.block(self.cell.0, self.cell.1);
+            mem.write(block.y.at(self.pid as usize), FALSE);
+            self.done = true;
+        }
+        true
+    }
+
+    /// Encodes machine state for model-checker keys.
+    pub fn key(&self, out: &mut Vec<Word>) {
+        out.push(u64::from(self.done));
+    }
+}
+
+/// The MA-style grid renaming object.
+#[derive(Debug)]
+pub struct MaGrid {
+    shape: MaShape,
+    mem: AtomicMemory,
+}
+
+impl MaGrid {
+    /// Creates a grid for at most `k` concurrent processes out of a source
+    /// space of size `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k = 0` or `s = 0`. Note the grid allocates
+    /// `k(k+1)/2 · (S+1)` registers — `O(k²S)` space, the price of the
+    /// baseline's presence scans.
+    pub fn new(k: usize, s: u64) -> Self {
+        let mut layout = Layout::new();
+        let shape = MaShape::build(k, s, &mut layout);
+        Self {
+            shape,
+            mem: AtomicMemory::new(&layout),
+        }
+    }
+
+    /// The grid shape.
+    pub fn shape(&self) -> &MaShape {
+        &self.shape
+    }
+}
+
+impl Renaming for MaGrid {
+    type Handle<'a> = MaHandle<'a>;
+
+    fn handle(&self, pid: Pid) -> MaHandle<'_> {
+        assert!(
+            pid < self.shape.s,
+            "pid {pid} outside source space of size {}",
+            self.shape.s
+        );
+        MaHandle {
+            grid: self,
+            pid,
+            cell: None,
+            accesses: 0,
+        }
+    }
+
+    fn source_size(&self) -> u64 {
+        self.shape.s
+    }
+
+    fn dest_size(&self) -> u64 {
+        (self.shape.k * (self.shape.k + 1) / 2) as u64
+    }
+
+    fn concurrency(&self) -> usize {
+        self.shape.k
+    }
+}
+
+/// Process handle on a [`MaGrid`].
+#[derive(Debug)]
+pub struct MaHandle<'a> {
+    grid: &'a MaGrid,
+    pid: Pid,
+    cell: Option<(usize, usize)>,
+    accesses: u64,
+}
+
+impl RenamingHandle for MaHandle<'_> {
+    fn acquire(&mut self) -> Name {
+        assert!(self.cell.is_none(), "acquire while holding a name");
+        let mem = Counting::new(&self.grid.mem);
+        let mut m = MaAcquire::new(self.grid.shape.clone(), self.pid);
+        let name = loop {
+            if let Some(name) = m.step(&mem) {
+                break name;
+            }
+        };
+        self.accesses += mem.accesses();
+        self.cell = m.stopped_at();
+        name
+    }
+
+    fn release(&mut self) {
+        let cell = self.cell.take().expect("release without holding a name");
+        let mem = Counting::new(&self.grid.mem);
+        let mut m = MaRelease::new(self.grid.shape.clone(), self.pid, cell);
+        while !m.step(&mem) {}
+        self.accesses += mem.accesses();
+    }
+
+    fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    fn held(&self) -> Option<Name> {
+        self.cell
+            .map(|(r, c)| self.grid.shape.cell_name(r, c))
+    }
+
+    fn accesses(&self) -> u64 {
+        self.accesses
+    }
+}
+
+pub mod spec {
+    //! Model-checkable specification of the MA grid: name uniqueness
+    //! under every interleaving.
+
+    use super::*;
+    use llr_mc::{CheckStats, MachineStatus, ModelChecker, StepMachine, Violation, World};
+
+    #[derive(Clone, Debug)]
+    enum Phase {
+        Idle,
+        Acquiring(MaAcquire),
+        Holding { cell: (usize, usize) },
+    }
+
+    /// A process performing `sessions` × (`GetName`; dwell; `ReleaseName`).
+    #[derive(Clone, Debug)]
+    pub struct MaUser {
+        shape: MaShape,
+        pid: Pid,
+        sessions_left: u8,
+        phase: Phase,
+    }
+
+    impl MaUser {
+        /// A user of the grid described by `shape`.
+        pub fn new(shape: MaShape, pid: Pid, sessions: u8) -> Self {
+            Self {
+                shape,
+                pid,
+                sessions_left: sessions,
+                phase: Phase::Idle,
+            }
+        }
+
+        /// The name currently held, if any.
+        pub fn holding(&self) -> Option<Name> {
+            match &self.phase {
+                Phase::Holding { cell } => Some(self.shape.cell_name(cell.0, cell.1)),
+                _ => None,
+            }
+        }
+    }
+
+    impl StepMachine for MaUser {
+        fn step(&mut self, mem: &dyn Memory) -> MachineStatus {
+            match &mut self.phase {
+                Phase::Idle => {
+                    let mut m = MaAcquire::new(self.shape.clone(), self.pid);
+                    debug_assert!(m.step(mem).is_none());
+                    self.phase = Phase::Acquiring(m);
+                    MachineStatus::Running
+                }
+                Phase::Acquiring(m) => {
+                    if m.step(mem).is_some() {
+                        let cell = m.stopped_at().expect("stopped");
+                        self.phase = Phase::Holding { cell };
+                    }
+                    MachineStatus::Running
+                }
+                Phase::Holding { cell } => {
+                    let mut m = MaRelease::new(self.shape.clone(), self.pid, *cell);
+                    let done = m.step(mem);
+                    debug_assert!(done);
+                    self.sessions_left -= 1;
+                    self.phase = Phase::Idle;
+                    if self.sessions_left == 0 {
+                        MachineStatus::Done
+                    } else {
+                        MachineStatus::Running
+                    }
+                }
+            }
+        }
+
+        fn key(&self, out: &mut Vec<Word>) {
+            out.push(self.sessions_left as u64);
+            match &self.phase {
+                Phase::Idle => out.push(0),
+                Phase::Acquiring(m) => {
+                    out.push(1);
+                    m.key(out);
+                }
+                Phase::Holding { cell } => {
+                    out.push(2);
+                    out.push(cell.0 as u64);
+                    out.push(cell.1 as u64);
+                }
+            }
+        }
+
+        fn describe(&self) -> String {
+            let phase = match &self.phase {
+                Phase::Idle => "Idle".into(),
+                Phase::Acquiring(m) => m.describe(),
+                Phase::Holding { cell } => format!("Holding({},{})", cell.0, cell.1),
+            };
+            format!("p{}:{phase} ({} left)", self.pid, self.sessions_left)
+        }
+    }
+
+    /// Concurrently held names are pairwise distinct and in range.
+    pub fn unique_names_invariant(world: &World<'_, MaUser>) -> Result<(), String> {
+        let mut held = std::collections::HashMap::new();
+        for (i, m) in world.machines.iter().enumerate() {
+            if let Some(name) = m.holding() {
+                let d = (m.shape.k * (m.shape.k + 1) / 2) as u64;
+                if name >= d {
+                    return Err(format!("machine {i} holds out-of-range name {name}"));
+                }
+                if let Some(j) = held.insert(name, i) {
+                    return Err(format!(
+                        "machines {j} and {i} concurrently hold name {name}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Exhaustively checks name uniqueness for `procs ≤ k` processes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violating schedule if uniqueness can be broken.
+    pub fn check_ma(
+        k: usize,
+        s: u64,
+        pids: &[Pid],
+        sessions: u8,
+    ) -> Result<CheckStats, Box<Violation>> {
+        assert!(pids.len() <= k);
+        let mut layout = Layout::new();
+        let shape = MaShape::build(k, s, &mut layout);
+        let machines: Vec<MaUser> = pids
+            .iter()
+            .map(|&p| MaUser::new(shape.clone(), p, sessions))
+            .collect();
+        match ModelChecker::new(layout, machines).check(unique_names_invariant) {
+            Ok(stats) => Ok(stats),
+            Err(llr_mc::CheckError::Violation(v)) => Err(v),
+            Err(e @ llr_mc::CheckError::StateLimit { .. }) => {
+                panic!("MA exploration exceeded the state budget: {e}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::test_support::sequential_cycle;
+
+    #[test]
+    fn cell_naming_is_triangular() {
+        let mut layout = Layout::new();
+        let shape = MaShape::build(4, 4, &mut layout);
+        // Row 0: 0..3, row 1: 4..6, row 2: 7..8, row 3: 9.
+        assert_eq!(shape.cell_name(0, 0), 0);
+        assert_eq!(shape.cell_name(0, 3), 3);
+        assert_eq!(shape.cell_name(1, 0), 4);
+        assert_eq!(shape.cell_name(2, 1), 8);
+        assert_eq!(shape.cell_name(3, 0), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the grid triangle")]
+    fn cell_bounds_checked() {
+        let mut layout = Layout::new();
+        let shape = MaShape::build(3, 4, &mut layout);
+        let _ = shape.cell_name(1, 2);
+    }
+
+    #[test]
+    fn solo_process_stops_at_origin() {
+        let ma = MaGrid::new(3, 8);
+        let mut h = ma.handle(5);
+        assert_eq!(h.acquire(), 0, "an uncontended walk stops at (0,0)");
+        h.release();
+    }
+
+    #[test]
+    fn acquire_cost_scales_with_s_not_pid() {
+        // The Θ(S) scan: doubling S roughly doubles the (uncontended)
+        // acquire cost. This is the "not fast" baseline property.
+        let cost = |s: u64| {
+            let ma = MaGrid::new(2, s);
+            let mut h = ma.handle(s - 1);
+            h.acquire();
+            h.release();
+            h.accesses()
+        };
+        let c64 = cost(64);
+        let c128 = cost(128);
+        assert!(c128 > c64 + 32, "scan cost must grow with S: {c64} vs {c128}");
+    }
+
+    #[test]
+    fn k1_single_name() {
+        let ma = MaGrid::new(1, 4);
+        assert_eq!(ma.dest_size(), 1);
+        let (names, _) = sequential_cycle(&ma, &[0, 1, 2, 3]);
+        assert_eq!(names, vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn sequential_cycles() {
+        let ma = MaGrid::new(4, 16);
+        let (names, max_acc) = sequential_cycle(&ma, &[0, 5, 10, 15]);
+        for n in names {
+            assert!(n < 10);
+        }
+        // ≤ k blocks × (S + 3) accesses + release
+        assert!(max_acc <= 4 * (16 + 3) + 1);
+    }
+
+    #[test]
+    fn concurrent_holders_distinct() {
+        let ma = MaGrid::new(3, 8);
+        let mut h: Vec<_> = [1u64, 4, 7].iter().map(|&p| ma.handle(p)).collect();
+        let names: Vec<Name> = h.iter_mut().map(|h| h.acquire()).collect();
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), 3, "names {names:?} must be distinct");
+        for h in &mut h {
+            h.release();
+        }
+    }
+
+    #[test]
+    fn exhaustive_always_terminable() {
+        let mut layout = Layout::new();
+        let shape = MaShape::build(2, 3, &mut layout);
+        let machines: Vec<spec::MaUser> = [0u64, 2]
+            .iter()
+            .map(|&p| spec::MaUser::new(shape.clone(), p, 2))
+            .collect();
+        let stats = llr_mc::ModelChecker::new(layout, machines)
+            .check_always_terminable()
+            .expect("no trap states in the grid");
+        assert!(stats.terminal_states >= 1);
+    }
+
+    #[test]
+    fn exhaustive_two_processes() {
+        let stats = spec::check_ma(2, 3, &[0, 2], 2).unwrap();
+        assert!(stats.states > 500, "got {}", stats.states);
+    }
+
+    #[test]
+    #[ignore = "large state space; run via the e2_modelcheck binary in release mode"]
+    fn exhaustive_three_processes() {
+        let stats = spec::check_ma(3, 3, &[0, 1, 2], 1).unwrap();
+        assert!(stats.states > 1_000);
+    }
+
+    #[test]
+    fn release_makes_name_reusable() {
+        let ma = MaGrid::new(2, 4);
+        let mut h1 = ma.handle(0);
+        let mut h2 = ma.handle(3);
+        let n1 = h1.acquire();
+        h1.release();
+        let n2 = h2.acquire();
+        assert_eq!(n1, n2, "a released name is available again");
+        h2.release();
+    }
+}

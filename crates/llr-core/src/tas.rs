@@ -1,0 +1,213 @@
+//! Test&Set-based long-lived renaming — the strong-primitive baseline.
+//!
+//! The paper's opening comparison (§1): "For systems supporting
+//! primitives such as Test&Set, Moir and Anderson present renaming
+//! protocols that are both fast and long-lived. However, protocols that
+//! employ such strong operations are not as widely applicable or as
+//! portable as protocols that employ only reads and writes."
+//!
+//! This module implements that reference point: an array of `k` test&set
+//! bits; `GetName` scans for a free slot and claims it with one
+//! test&set; `ReleaseName` resets the claimed bit. Destination space is
+//! the **optimal** `k` names and the cost is `O(k)` — strictly better
+//! than anything achievable with reads and writes (Herlihy–Shavit's
+//! `D ≥ 2k-1` lower bound, cited in the paper's §5).
+//!
+//! It exists to quantify, in the benchmarks, exactly what the read/write
+//! restriction costs. **It deliberately steps outside the paper's
+//! machine model**: the test&set is a real atomic `swap`, not a
+//! read/write simulation.
+//!
+//! # Why a scan always finds a free slot
+//!
+//! At most `k` processes concurrently request or hold names, and each
+//! holds at most one slot; a requester is one of the `k`, so at most
+//! `k-1` slots are held at any moment — but a single scan can still lose
+//! races at every slot to churning competitors, so the scan retries. A
+//! requester can only lose a slot to another process *acquiring* it;
+//! with at most `k` processes each acquisition steals at most one slot
+//! ahead of us, so the total work is `O(k)` slots probed per competitor,
+//! enforced by a tripwire.
+//!
+//! # Example
+//!
+//! ```
+//! use llr_core::tas::TasRenaming;
+//! use llr_core::traits::{Renaming, RenamingHandle};
+//!
+//! let tas = TasRenaming::new(4);
+//! assert_eq!(tas.dest_size(), 4); // optimal: k names
+//! let mut h = tas.handle(0xFEED);
+//! let name = h.acquire();
+//! assert!(name < 4);
+//! h.release();
+//! ```
+
+use crate::traits::{Renaming, RenamingHandle};
+use crate::types::{Name, Pid};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Long-lived renaming to `k` names using test&set — fast, optimal, and
+/// outside the read/write model.
+#[derive(Debug)]
+pub struct TasRenaming {
+    slots: Vec<AtomicBool>,
+}
+
+impl TasRenaming {
+    /// Creates an instance for at most `k` concurrent processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k = 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "concurrency bound k must be at least 1");
+        Self {
+            slots: (0..k).map(|_| AtomicBool::new(false)).collect(),
+        }
+    }
+}
+
+impl Renaming for TasRenaming {
+    type Handle<'a> = TasHandle<'a>;
+
+    fn handle(&self, pid: Pid) -> TasHandle<'_> {
+        TasHandle {
+            tas: self,
+            pid,
+            held: None,
+            accesses: 0,
+        }
+    }
+
+    fn source_size(&self) -> u64 {
+        u64::MAX
+    }
+
+    fn dest_size(&self) -> u64 {
+        self.slots.len() as u64
+    }
+
+    fn concurrency(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+/// Process handle on a [`TasRenaming`].
+#[derive(Debug)]
+pub struct TasHandle<'a> {
+    tas: &'a TasRenaming,
+    pid: Pid,
+    held: Option<Name>,
+    accesses: u64,
+}
+
+impl RenamingHandle for TasHandle<'_> {
+    fn acquire(&mut self) -> Name {
+        assert!(self.held.is_none(), "acquire while holding a name");
+        let k = self.tas.slots.len();
+        // Each competitor can steal at most one slot from under us per
+        // acquisition; k² probes is already generous, 8k² is a tripwire.
+        let budget = 8 * k as u64 * k as u64 + 8;
+        let mut probes = 0u64;
+        loop {
+            for (i, slot) in self.tas.slots.iter().enumerate() {
+                probes += 1;
+                assert!(
+                    probes <= budget,
+                    "test&set scan exceeded its O(k²) budget: the \
+                     concurrency bound k = {k} is being violated"
+                );
+                self.accesses += 1;
+                // test&set: returns the previous value.
+                if !slot.swap(true, Ordering::SeqCst) {
+                    self.held = Some(i as Name);
+                    return i as Name;
+                }
+            }
+        }
+    }
+
+    fn release(&mut self) {
+        let name = self.held.take().expect("release without holding a name");
+        self.accesses += 1;
+        self.tas.slots[name as usize].store(false, Ordering::SeqCst);
+    }
+
+    fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    fn held(&self) -> Option<Name> {
+        self.held
+    }
+
+    fn accesses(&self) -> u64 {
+        self.accesses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{stress, StressConfig};
+    use crate::traits::test_support::sequential_cycle;
+
+    #[test]
+    fn solo_takes_slot_zero_in_one_probe() {
+        let tas = TasRenaming::new(5);
+        let mut h = tas.handle(999);
+        assert_eq!(h.acquire(), 0);
+        assert_eq!(h.accesses(), 1);
+        h.release();
+        assert_eq!(h.accesses(), 2);
+    }
+
+    #[test]
+    fn sequential_cycles() {
+        let tas = TasRenaming::new(3);
+        let (names, max_acc) = sequential_cycle(&tas, &[1, u64::MAX, 42]);
+        assert_eq!(names, vec![0, 0, 0], "released slots are reused");
+        assert!(max_acc <= 2);
+    }
+
+    #[test]
+    fn concurrent_holders_fill_distinct_slots() {
+        let tas = TasRenaming::new(4);
+        let mut hs: Vec<_> = (0..4u64).map(|p| tas.handle(p)).collect();
+        let names: Vec<Name> = hs.iter_mut().map(|h| h.acquire()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+        for h in &mut hs {
+            h.release();
+        }
+    }
+
+    #[test]
+    fn stress_with_spectators() {
+        let tas = TasRenaming::new(4);
+        let report = stress(
+            &tas,
+            &StressConfig {
+                pids: (0..10u64).collect(),
+                concurrency: 4,
+                ops_per_thread: 500,
+                dwell_spins: 16,
+                seed: 9,
+            },
+        );
+        assert_eq!(report.violations, 0);
+        assert!(report.max_name < 4);
+        assert!(report.max_accesses_per_op <= 8 * 16 + 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "acquire while holding")]
+    fn pair_discipline_enforced() {
+        let tas = TasRenaming::new(2);
+        let mut h = tas.handle(0);
+        h.acquire();
+        h.acquire();
+    }
+}

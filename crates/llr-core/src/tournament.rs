@@ -1,0 +1,569 @@
+//! Mutual-exclusion tournament trees over the source name space.
+//!
+//! FILTER associates one binary tournament tree `T_m` with every
+//! destination name `m`. A tree has `⌈log₂ S⌉` levels of two-process
+//! [`crate::pf`] ME blocks; the `2^⌈log₂ S⌉ ≥ S` leaf inputs are in
+//! one-to-one correspondence with source names, so **no two processes ever
+//! compete in a block from the same direction** — each block really is a
+//! two-process problem (Lemma 6). A process enters at its leaf input,
+//! and each time it wins a block's critical section it moves up to the
+//! parent block, entering from the side it came from; winning the root's
+//! critical section wins the tree.
+//!
+//! Process `p`'s position is fully determined by arithmetic on `p`:
+//! at level `ℓ ∈ {1..L}` it competes in block `p >> ℓ` from side
+//! `(p >> (ℓ-1)) & 1`.
+//!
+//! Trees are allocated **sparsely**: only the root-paths of registered
+//! participants exist. A dense tree would need `2^L - 1` blocks —
+//! `O(S)` registers *per tree*, `O(zdkS)` overall exactly as the paper's
+//! space bound says; the sparse representation preserves the time
+//! behaviour (the paths processes touch are identical) while keeping
+//! memory proportional to participants, which is what lets the benchmarks
+//! sweep `S` into the millions.
+//!
+//! The standalone [`TreeMutex`]/[`spec::TreeUser`] wrapper turns one tree
+//! into an `n`-process mutual-exclusion lock; it exists so the tournament
+//! layer can be verified in isolation (Lemma 6) before FILTER composes
+//! many trees.
+
+use crate::pf::{self, MeEnter, MeRegs, Side};
+use crate::types::Pid;
+use llr_mem::{Layout, Memory, Word};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The static shape of one tournament tree: its levels and the sparse
+/// block table. Cheap to clone.
+#[derive(Clone, Debug)]
+pub struct TreeShape {
+    levels: usize,
+    blocks: Arc<HashMap<(usize, u64), MeRegs>>,
+}
+
+impl TreeShape {
+    /// Allocates (sparsely) the tree for a source space of size `s`,
+    /// covering the root-paths of every pid in `participants`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a participant id is `≥ s`, or `s < 2`.
+    pub fn build(layout: &mut Layout, tree_name: &str, s: u64, participants: &[Pid]) -> Self {
+        assert!(s >= 2, "a tournament needs a source space of at least 2");
+        let levels = Self::levels_for(s);
+        let mut blocks = HashMap::new();
+        for &p in participants {
+            assert!(p < s, "participant {p} outside source space of size {s}");
+            for level in 1..=levels {
+                let idx = p >> level;
+                blocks.entry((level, idx)).or_insert_with(|| {
+                    MeRegs::allocate(layout, &format!("{tree_name}/L{level}B{idx}"))
+                });
+            }
+        }
+        Self {
+            levels,
+            blocks: Arc::new(blocks),
+        }
+    }
+
+    /// `⌈log₂ s⌉`, at least 1.
+    pub fn levels_for(s: u64) -> usize {
+        (64 - (s.max(2) - 1).leading_zeros()) as usize
+    }
+
+    /// Number of ME levels (`⌈log₂ S⌉`); the root block is at this level.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Number of allocated (touched) blocks.
+    pub fn allocated_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Process `p`'s block index at `level`.
+    pub fn block_index(p: Pid, level: usize) -> u64 {
+        p >> level
+    }
+
+    /// The side from which process `p` enters its block at `level`.
+    pub fn side_at(p: Pid, level: usize) -> Side {
+        ((p >> (level - 1)) & 1) as Side
+    }
+
+    /// The registers of process `p`'s block at `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p`'s path was not allocated (unregistered participant)
+    /// or `level` is out of range.
+    pub fn block_for(&self, p: Pid, level: usize) -> MeRegs {
+        assert!(
+            (1..=self.levels).contains(&level),
+            "level {level} out of range 1..={}",
+            self.levels
+        );
+        *self
+            .blocks
+            .get(&(level, Self::block_index(p, level)))
+            .unwrap_or_else(|| panic!("block (level {level}) for pid {p} was never allocated"))
+    }
+}
+
+/// Per-process progress in one tree: how high it has climbed and the ME
+/// register values it holds on the way up.
+///
+/// `entered_levels` holds the own-register value for every level whose
+/// block has been *entered* (the last one may still be unconfirmed — its
+/// `check` has not yet returned `true`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TreeProgress {
+    own_values: Vec<Word>,
+}
+
+impl TreeProgress {
+    /// Fresh progress: not in the tree at all.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Highest entered level (0 = not entered).
+    pub fn entered_level(&self) -> usize {
+        self.own_values.len()
+    }
+
+    /// Records completion of an `Enter` at the next level up.
+    pub fn push_entered(&mut self, own: Word) {
+        self.own_values.push(own);
+    }
+
+    /// The own-register value held at `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if that level has not been entered.
+    pub fn own_at(&self, level: usize) -> Word {
+        self.own_values[level - 1]
+    }
+
+    /// Clears the progress (after all blocks were released).
+    pub fn reset(&mut self) {
+        self.own_values.clear();
+    }
+
+    /// Drops the topmost entered level (after its block was released;
+    /// releases proceed top-down).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no level is entered.
+    pub fn pop_released(&mut self) {
+        self.own_values
+            .pop()
+            .expect("pop_released on an empty tree position");
+    }
+
+    /// Appends the progress to a model-checker key.
+    pub fn key(&self, out: &mut Vec<Word>) {
+        out.push(self.own_values.len() as u64);
+        out.extend_from_slice(&self.own_values);
+    }
+}
+
+/// A multi-process mutual-exclusion lock built from one tournament tree —
+/// the substrate of FILTER, packaged standalone.
+#[derive(Debug)]
+pub struct TreeMutex {
+    shape: TreeShape,
+    mem: llr_mem::AtomicMemory,
+    s: u64,
+}
+
+impl TreeMutex {
+    /// Builds a lock for the given participants out of a source space of
+    /// size `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a participant id is `≥ s` or `s < 2`.
+    pub fn new(s: u64, participants: &[Pid]) -> Self {
+        let mut layout = Layout::new();
+        let shape = TreeShape::build(&mut layout, "T", s, participants);
+        Self {
+            shape,
+            mem: llr_mem::AtomicMemory::new(&layout),
+            s,
+        }
+    }
+
+    /// The tree shape.
+    pub fn shape(&self) -> &TreeShape {
+        &self.shape
+    }
+
+    /// Acquires the lock for process `p` (spins while blocked).
+    pub fn lock(&self, p: Pid) -> TreeGuard<'_> {
+        assert!(p < self.s, "pid {p} outside source space");
+        let mut progress = TreeProgress::new();
+        while progress.entered_level() < self.shape.levels() {
+            let level = progress.entered_level() + 1;
+            let regs = self.shape.block_for(p, level);
+            let side = TreeShape::side_at(p, level);
+            let mut op = MeEnter::new(side);
+            let own = loop {
+                if let Some(own) = op.step(&regs, &self.mem) {
+                    break own;
+                }
+            };
+            progress.push_entered(own);
+            while !pf::check(&regs, side, own, &self.mem) {
+                std::hint::spin_loop();
+            }
+        }
+        TreeGuard {
+            mutex: self,
+            p,
+            progress,
+        }
+    }
+}
+
+/// RAII guard for [`TreeMutex::lock`]; releases the path (top-down) on
+/// drop.
+#[derive(Debug)]
+pub struct TreeGuard<'a> {
+    mutex: &'a TreeMutex,
+    p: Pid,
+    progress: TreeProgress,
+}
+
+impl Drop for TreeGuard<'_> {
+    fn drop(&mut self) {
+        // Top-down: release a block only while still holding its parent,
+        // so no same-direction second entrant can appear (Lemma 6).
+        for level in (1..=self.progress.entered_level()).rev() {
+            let regs = self.mutex.shape.block_for(self.p, level);
+            pf::release(&regs, TreeShape::side_at(self.p, level), &self.mutex.mem);
+        }
+        self.progress.reset();
+    }
+}
+
+pub mod spec {
+    //! Model-checkable specification of one tournament tree: root critical
+    //! sections are mutually exclusive (Lemma 6) for any number of
+    //! distinct participants.
+
+    use super::*;
+    use llr_mc::{CheckStats, MachineStatus, ModelChecker, StepMachine, Violation, World};
+
+    #[derive(Clone, Debug)]
+    enum Phase {
+        Idle,
+        Entering { op: MeEnter },
+        Waiting,
+        Critical,
+        Releasing { level: usize },
+    }
+
+    /// A process repeatedly acquiring the tree's root critical section.
+    #[derive(Clone, Debug)]
+    pub struct TreeUser {
+        shape: TreeShape,
+        pid: Pid,
+        sessions_left: u8,
+        progress: TreeProgress,
+        phase: Phase,
+    }
+
+    impl TreeUser {
+        /// A competitor with identity `pid` doing `sessions` acquisitions.
+        pub fn new(shape: TreeShape, pid: Pid, sessions: u8) -> Self {
+            Self {
+                shape,
+                pid,
+                sessions_left: sessions,
+                progress: TreeProgress::new(),
+                phase: Phase::Idle,
+            }
+        }
+
+        /// `true` iff inside the root critical section.
+        pub fn in_critical(&self) -> bool {
+            matches!(self.phase, Phase::Critical)
+        }
+    }
+
+    impl StepMachine for TreeUser {
+        fn step(&mut self, mem: &dyn Memory) -> MachineStatus {
+            match &mut self.phase {
+                Phase::Idle => {
+                    let side = TreeShape::side_at(self.pid, 1);
+                    let mut op = MeEnter::new(side);
+                    debug_assert!(op
+                        .step(&self.shape.block_for(self.pid, 1), mem)
+                        .is_none());
+                    self.phase = Phase::Entering { op };
+                    MachineStatus::Running
+                }
+                Phase::Entering { op } => {
+                    let level = self.progress.entered_level() + 1;
+                    let regs = self.shape.block_for(self.pid, level);
+                    if let Some(own) = op.step(&regs, mem) {
+                        self.progress.push_entered(own);
+                        self.phase = Phase::Waiting;
+                    }
+                    MachineStatus::Running
+                }
+                Phase::Waiting => {
+                    let level = self.progress.entered_level();
+                    let regs = self.shape.block_for(self.pid, level);
+                    let side = TreeShape::side_at(self.pid, level);
+                    if pf::check(&regs, side, self.progress.own_at(level), mem) {
+                        if level == self.shape.levels() {
+                            self.phase = Phase::Critical;
+                        } else {
+                            let next_side = TreeShape::side_at(self.pid, level + 1);
+                            self.phase = Phase::Entering {
+                                op: MeEnter::new(next_side),
+                            };
+                        }
+                    }
+                    MachineStatus::Running
+                }
+                Phase::Critical => {
+                    // Begin releasing, top-down.
+                    let level = self.shape.levels();
+                    let regs = self.shape.block_for(self.pid, level);
+                    pf::release(&regs, TreeShape::side_at(self.pid, level), mem);
+                    if level == 1 {
+                        self.finish_session()
+                    } else {
+                        self.phase = Phase::Releasing { level: level - 1 };
+                        MachineStatus::Running
+                    }
+                }
+                Phase::Releasing { level } => {
+                    let level = *level;
+                    let regs = self.shape.block_for(self.pid, level);
+                    pf::release(&regs, TreeShape::side_at(self.pid, level), mem);
+                    if level == 1 {
+                        self.finish_session()
+                    } else {
+                        self.phase = Phase::Releasing { level: level - 1 };
+                        MachineStatus::Running
+                    }
+                }
+            }
+        }
+
+        fn key(&self, out: &mut Vec<Word>) {
+            out.push(self.sessions_left as u64);
+            self.progress.key(out);
+            match &self.phase {
+                Phase::Idle => out.push(0),
+                Phase::Entering { op } => {
+                    out.push(1);
+                    op.key(out);
+                }
+                Phase::Waiting => out.push(2),
+                Phase::Critical => out.push(3),
+                Phase::Releasing { level } => {
+                    out.push(4);
+                    out.push(*level as u64);
+                }
+            }
+        }
+
+        fn describe(&self) -> String {
+            let phase = match &self.phase {
+                Phase::Idle => "Idle".into(),
+                Phase::Entering { op } => {
+                    format!("L{} {}", self.progress.entered_level() + 1, op.describe())
+                }
+                Phase::Waiting => format!("Waiting@L{}", self.progress.entered_level()),
+                Phase::Critical => "ROOT-CS".into(),
+                Phase::Releasing { level } => format!("Releasing@L{level}"),
+            };
+            format!("p{}:{phase} ({} left)", self.pid, self.sessions_left)
+        }
+    }
+
+    impl TreeUser {
+        fn finish_session(&mut self) -> MachineStatus {
+            self.progress.reset();
+            self.sessions_left -= 1;
+            self.phase = Phase::Idle;
+            if self.sessions_left == 0 {
+                MachineStatus::Done
+            } else {
+                MachineStatus::Running
+            }
+        }
+    }
+
+    /// Lemma 6 at the root: at most one process in the root critical
+    /// section.
+    pub fn root_exclusion(world: &World<'_, TreeUser>) -> Result<(), String> {
+        let inside = world.machines.iter().filter(|m| m.in_critical()).count();
+        if inside > 1 {
+            Err(format!("{inside} processes in the tree's root CS"))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Exhaustively checks root exclusion for the given participants.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violating schedule if two participants can hold the
+    /// root critical section at once.
+    pub fn check_tree(
+        s: u64,
+        participants: &[Pid],
+        sessions: u8,
+    ) -> Result<CheckStats, Box<Violation>> {
+        let mut layout = Layout::new();
+        let shape = TreeShape::build(&mut layout, "T", s, participants);
+        let machines: Vec<TreeUser> = participants
+            .iter()
+            .map(|&p| TreeUser::new(shape.clone(), p, sessions))
+            .collect();
+        match ModelChecker::new(layout, machines).check(root_exclusion) {
+            Ok(stats) => Ok(stats),
+            Err(llr_mc::CheckError::Violation(v)) => Err(v),
+            Err(e @ llr_mc::CheckError::StateLimit { .. }) => {
+                panic!("tournament exploration exceeded the state budget: {e}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_formula() {
+        assert_eq!(TreeShape::levels_for(2), 1);
+        assert_eq!(TreeShape::levels_for(3), 2);
+        assert_eq!(TreeShape::levels_for(4), 2);
+        assert_eq!(TreeShape::levels_for(5), 3);
+        assert_eq!(TreeShape::levels_for(1 << 20), 20);
+        assert_eq!(TreeShape::levels_for((1 << 20) + 1), 21);
+    }
+
+    #[test]
+    fn path_arithmetic() {
+        // pid 6 = 0b110 in an 8-leaf tree: level 1 block 3 side 0,
+        // level 2 block 1 side 1, level 3 (root) block 0 side 1.
+        assert_eq!(TreeShape::block_index(6, 1), 3);
+        assert_eq!(TreeShape::side_at(6, 1), 0);
+        assert_eq!(TreeShape::block_index(6, 2), 1);
+        assert_eq!(TreeShape::side_at(6, 2), 1);
+        assert_eq!(TreeShape::block_index(6, 3), 0);
+        assert_eq!(TreeShape::side_at(6, 3), 1);
+    }
+
+    #[test]
+    fn distinct_pids_distinct_leaf_inputs() {
+        // (block, side) at level 1 is unique per pid.
+        let mut seen = std::collections::HashSet::new();
+        for p in 0..64u64 {
+            assert!(seen.insert((TreeShape::block_index(p, 1), TreeShape::side_at(p, 1))));
+        }
+    }
+
+    #[test]
+    fn sparse_allocation_counts() {
+        let mut layout = Layout::new();
+        // 2 participants in a 1M space: ≤ 20 blocks each, shared near root.
+        let shape = TreeShape::build(&mut layout, "T", 1 << 20, &[0, (1 << 20) - 1]);
+        assert_eq!(shape.levels(), 20);
+        assert!(shape.allocated_blocks() <= 40);
+        assert!(shape.allocated_blocks() >= 21); // ≥ L (shared root path)
+    }
+
+    #[test]
+    fn solo_lock_unlock() {
+        let m = TreeMutex::new(8, &[5]);
+        for _ in 0..3 {
+            let g = m.lock(5);
+            drop(g);
+        }
+    }
+
+    #[test]
+    fn threads_contend_without_violation() {
+        let pids: Vec<Pid> = vec![0, 3, 5, 6];
+        let m = std::sync::Arc::new(TreeMutex::new(8, &pids));
+        let counter = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let inside = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let handles: Vec<_> = pids
+            .iter()
+            .map(|&p| {
+                let m = std::sync::Arc::clone(&m);
+                let counter = std::sync::Arc::clone(&counter);
+                let inside = std::sync::Arc::clone(&inside);
+                std::thread::spawn(move || {
+                    for _ in 0..200 {
+                        let g = m.lock(p);
+                        let now = inside.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                        assert_eq!(now, 0, "mutual exclusion violated");
+                        counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                        inside.fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+                        drop(g);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(std::sync::atomic::Ordering::SeqCst), 800);
+    }
+
+    #[test]
+    fn exhaustive_two_processes_deep_tree() {
+        // S = 8 (3 levels), adjacent and far-apart pids.
+        let stats = spec::check_tree(8, &[2, 3], 2).unwrap();
+        assert!(stats.states > 100);
+        let stats = spec::check_tree(8, &[0, 7], 2).unwrap();
+        assert!(stats.states > 100);
+    }
+
+    #[test]
+    fn exhaustive_three_processes() {
+        let stats = spec::check_tree(4, &[0, 1, 3], 1).unwrap();
+        assert!(stats.states > 1_000);
+    }
+
+    #[test]
+    #[ignore = "large state space; run via the e2_modelcheck binary in release mode"]
+    fn exhaustive_four_processes_two_sessions() {
+        let stats = spec::check_tree(4, &[0, 1, 2, 3], 2).unwrap();
+        assert!(stats.states > 10_000);
+    }
+
+    #[test]
+    fn exhaustive_always_terminable() {
+        let mut layout = Layout::new();
+        let shape = TreeShape::build(&mut layout, "T", 4, &[0, 1, 3]);
+        let machines: Vec<spec::TreeUser> = [0u64, 1, 3]
+            .iter()
+            .map(|&p| spec::TreeUser::new(shape.clone(), p, 1))
+            .collect();
+        let stats = llr_mc::ModelChecker::new(layout, machines)
+            .check_always_terminable()
+            .expect("no trap states in the tournament");
+        assert!(stats.terminal_states >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside source space")]
+    fn participant_bounds_checked() {
+        let _ = TreeMutex::new(4, &[4]);
+    }
+}

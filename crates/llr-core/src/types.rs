@@ -1,0 +1,182 @@
+//! Common vocabulary types shared by all protocols.
+
+use llr_mem::Word;
+use std::fmt;
+
+/// A process identifier from the source name space `{0..S-1}`.
+pub type Pid = u64;
+
+/// A name from a destination name space `{0..D-1}`.
+pub type Name = u64;
+
+/// The three output sets of the splitter building block (`-1`, `0`, `1` in
+/// the paper).
+///
+/// In the SPLIT tree, the direction selects which child to descend to, and
+/// contributes the digit `1 + s[i] ∈ {0,1,2}` to the ternary encoding of
+/// the final name.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Direction {
+    /// The paper's output set `-1`.
+    Left,
+    /// The paper's output set `0` (taken when interference was detected).
+    Middle,
+    /// The paper's output set `1`.
+    Right,
+}
+
+impl Direction {
+    /// All directions, in `-1, 0, 1` order.
+    pub const ALL: [Direction; 3] = [Direction::Left, Direction::Middle, Direction::Right];
+
+    /// The paper's value: `-1`, `0` or `1`.
+    pub fn value(self) -> i8 {
+        match self {
+            Direction::Left => -1,
+            Direction::Middle => 0,
+            Direction::Right => 1,
+        }
+    }
+
+    /// The ternary digit `1 + value ∈ {0, 1, 2}` used in SPLIT's name
+    /// encoding and as a child index.
+    pub fn digit(self) -> usize {
+        (self.value() + 1) as usize
+    }
+
+    /// Inverse of [`digit`](Self::digit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `digit > 2`.
+    pub fn from_digit(digit: usize) -> Direction {
+        match digit {
+            0 => Direction::Left,
+            1 => Direction::Middle,
+            2 => Direction::Right,
+            _ => panic!("invalid direction digit {digit}"),
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:+}", self.value())
+    }
+}
+
+/// Encodings of protocol values into shared-register [`Word`]s.
+///
+/// All protocols store small enumerated domains; the constants here are the
+/// single source of truth for how they are represented in registers.
+pub mod enc {
+    use super::*;
+
+    /// Advice value `-1`.
+    pub const NEG: Word = 0;
+    /// Advice value `⊥` (only valid in `ADVICE[1]`).
+    pub const BOT: Word = 1;
+    /// Advice value `1`.
+    pub const POS: Word = 2;
+
+    /// Boolean `false`.
+    pub const FALSE: Word = 0;
+    /// Boolean `true`.
+    pub const TRUE: Word = 1;
+
+    /// The `nil` value of a Peterson–Fischer register (no interest).
+    pub const NIL: Word = 2;
+    /// Peterson–Fischer bit `0`.
+    pub const BIT0: Word = 0;
+    /// Peterson–Fischer bit `1`.
+    pub const BIT1: Word = 1;
+    /// Peterson–Fischer "entering" marker: interest declared, final
+    /// position value not yet written. `Check` treats it as "do not
+    /// proceed"; an entrant reading it treats the opponent's value as
+    /// unknown.
+    pub const ENTERING: Word = 3;
+
+    /// A non-`⊥` advice value, `-1` or `1`.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+    pub enum Adv {
+        /// Advice `-1`.
+        Neg,
+        /// Advice `1`.
+        Pos,
+    }
+
+    impl Adv {
+        /// The opposite advice (`¬` in the paper's Figure 2).
+        pub fn flipped(self) -> Adv {
+            match self {
+                Adv::Neg => Adv::Pos,
+                Adv::Pos => Adv::Neg,
+            }
+        }
+
+        /// Register encoding.
+        pub fn word(self) -> Word {
+            match self {
+                Adv::Neg => NEG,
+                Adv::Pos => POS,
+            }
+        }
+
+        /// Decodes a register value; `⊥` and anything unexpected map to
+        /// `None`.
+        pub fn from_word(w: Word) -> Option<Adv> {
+            match w {
+                NEG => Some(Adv::Neg),
+                POS => Some(Adv::Pos),
+                _ => None,
+            }
+        }
+
+        /// The splitter output set this advice selects.
+        pub fn direction(self) -> Direction {
+            match self {
+                Adv::Neg => Direction::Left,
+                Adv::Pos => Direction::Right,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::enc::*;
+    use super::*;
+
+    #[test]
+    fn direction_digit_roundtrip() {
+        for d in Direction::ALL {
+            assert_eq!(Direction::from_digit(d.digit()), d);
+        }
+        assert_eq!(Direction::Left.value(), -1);
+        assert_eq!(Direction::Middle.digit(), 1);
+        assert_eq!(Direction::Right.to_string(), "+1");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid direction digit")]
+    fn bad_digit_panics() {
+        let _ = Direction::from_digit(3);
+    }
+
+    #[test]
+    fn advice_flip_is_involution() {
+        for a in [Adv::Neg, Adv::Pos] {
+            assert_eq!(a.flipped().flipped(), a);
+            assert_ne!(a.flipped(), a);
+            assert_eq!(Adv::from_word(a.word()), Some(a));
+        }
+        assert_eq!(Adv::from_word(BOT), None);
+        assert_eq!(Adv::from_word(99), None);
+    }
+
+    #[test]
+    fn advice_directions_are_outer_sets() {
+        assert_eq!(Adv::Neg.direction(), Direction::Left);
+        assert_eq!(Adv::Pos.direction(), Direction::Right);
+    }
+}

@@ -1,0 +1,45 @@
+//! Finite fields, polynomial hashing and cover-free name-set families for
+//! the FILTER protocol.
+//!
+//! Section 4.1 of "Long-Lived Renaming Made Fast" (Buhrman–Garay–Hoepman–
+//! Moir, 1995) assigns to each process `p ∈ {0..S-1}` a distinct polynomial
+//! `Q_p` of degree at most `d` over a prime field `GF(z)` (the base-`z`
+//! digits of `p` are the coefficients, which requires `S ≤ z^(d+1)`), and
+//! lets `p` compete for the **name set**
+//!
+//! ```text
+//! N_p = { n_p(x) = z·x + Q_p(x)  :  0 ≤ x < 2d(k-1) }
+//! ```
+//!
+//! Two distinct degree-≤d polynomials over a field agree on at most `d`
+//! points, so `‖N_p ∩ N_q‖ ≤ d` (the paper's Proposition 8); with
+//! `z ≥ 2d(k-1)`, any `k-1` other processes can cover at most `d(k-1)` of
+//! `p`'s `2d(k-1)` names, leaving at least `d(k-1)` names nobody else
+//! competes for — the property FILTER's progress argument (Lemma 9) rests
+//! on. Families of sets where no set is covered by the union of `k-1`
+//! others were studied by Erdős–Frankl–Füredi.
+//!
+//! This crate provides:
+//!
+//! * [`Gf`] — arithmetic in `GF(z)` for prime `z`;
+//! * [`is_prime`]/[`next_prime_at_least`]/[`prime_in_range`] — deterministic
+//!   Miller–Rabin for `u64` and Bertrand-interval prime search;
+//! * [`Poly`] — polynomials over `GF(z)`, including the paper's
+//!   process-id-to-polynomial assignment;
+//! * [`NameSets`] — the family `{N_p}` plus verification of the
+//!   intersection/cover-freeness properties;
+//! * [`FilterParams`] — the parameter choices `(d, z)` of Section 4.4 for
+//!   each of the paper's five `S`-vs-`k` regimes, with the resulting
+//!   destination-space and time-complexity formulas.
+
+mod field;
+mod nameset;
+mod params;
+mod poly;
+mod prime;
+
+pub use field::Gf;
+pub use nameset::NameSets;
+pub use params::{FilterParams, ParamError, Regime};
+pub use poly::Poly;
+pub use prime::{is_prime, next_prime_at_least, prime_in_range};

@@ -1,0 +1,559 @@
+//! DFS state-space exploration with memoization, replay and random walks.
+
+use crate::StepMachine;
+use llr_mem::{Layout, SimMemory, Word};
+use std::collections::HashSet;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A read-only view of one global state, handed to invariant closures.
+#[derive(Debug)]
+pub struct World<'a, M> {
+    /// The shared registers in this state.
+    pub mem: &'a SimMemory,
+    /// Every machine's local state.
+    pub machines: &'a [M],
+    /// `done[i]` is true iff machine `i` has finished its workload.
+    pub done: &'a [bool],
+}
+
+impl<M> World<'_, M> {
+    /// `true` iff every machine has finished (a terminal state).
+    pub fn all_done(&self) -> bool {
+        self.done.iter().all(|&d| d)
+    }
+}
+
+/// Statistics from a successful exploration.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CheckStats {
+    /// Distinct global states visited.
+    pub states: u64,
+    /// Transitions (machine steps) taken, including ones leading to
+    /// already-visited states.
+    pub transitions: u64,
+    /// Longest schedule prefix on the DFS path.
+    pub max_depth: usize,
+    /// States in which every machine was done.
+    pub terminal_states: u64,
+}
+
+impl fmt::Display for CheckStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} states, {} transitions, depth ≤ {}, {} terminal",
+            self.states, self.transitions, self.max_depth, self.terminal_states
+        )
+    }
+}
+
+/// An invariant violation, with everything needed to reproduce it.
+#[derive(Debug)]
+pub struct Violation {
+    /// The invariant's error message.
+    pub message: String,
+    /// The machine indices, in order, whose steps reach the bad state.
+    pub schedule: Vec<usize>,
+    /// A human-readable replay of the schedule (one line per step).
+    pub trace: String,
+    /// Statistics gathered up to the point of the violation.
+    pub stats: CheckStats,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "invariant violated: {}", self.message)?;
+        writeln!(f, "schedule: {:?}", self.schedule)?;
+        write!(f, "{}", self.trace)
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// Errors produced by [`ModelChecker::check`].
+#[derive(Debug)]
+pub enum CheckError {
+    /// An invariant failed in a reachable state.
+    Violation(Box<Violation>),
+    /// The state space exceeded the configured bound; nothing was proven.
+    StateLimit {
+        /// The configured maximum number of states.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::Violation(v) => write!(f, "{v}"),
+            CheckError::StateLimit { limit } => {
+                write!(f, "state limit of {limit} states exceeded")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+impl CheckError {
+    /// Returns the violation, panicking on a state-limit error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this error is [`CheckError::StateLimit`].
+    pub fn unwrap_violation(self) -> Box<Violation> {
+        match self {
+            CheckError::Violation(v) => v,
+            CheckError::StateLimit { limit } => {
+                panic!("expected a violation but hit the state limit ({limit})")
+            }
+        }
+    }
+}
+
+struct Frame<M> {
+    mem: Vec<Word>,
+    machines: Vec<M>,
+    done: Vec<bool>,
+    /// Next machine index to try stepping from this state.
+    next: usize,
+    /// Which machine's step produced this state (usize::MAX for the root).
+    via: usize,
+}
+
+/// Explores every interleaving of a set of [`StepMachine`]s over a shared
+/// register file and checks invariants in each reachable state.
+///
+/// See the crate docs for a full example.
+pub struct ModelChecker<M> {
+    layout: Layout,
+    machines: Vec<M>,
+    max_states: usize,
+    hashed_dedup: bool,
+}
+
+impl<M: StepMachine> ModelChecker<M> {
+    /// Creates a checker over `machines` sharing a register file initialized
+    /// from `layout`.
+    pub fn new(layout: Layout, machines: Vec<M>) -> Self {
+        Self {
+            layout,
+            machines,
+            max_states: 20_000_000,
+            hashed_dedup: false,
+        }
+    }
+
+    /// Sets the maximum number of distinct states to explore before giving
+    /// up with [`CheckError::StateLimit`] (default: 20 million).
+    pub fn max_states(mut self, n: usize) -> Self {
+        self.max_states = n;
+        self
+    }
+
+    /// Deduplicate visited states by a 128-bit hash instead of the full
+    /// state vector.
+    ///
+    /// This reduces memory by an order of magnitude for large runs. A hash
+    /// collision would silently prune a reachable state; with a 128-bit
+    /// hash and `n` states the collision probability is about `n²/2¹²⁹`
+    /// (< 10⁻²⁴ for 10⁸ states), which we accept for the large
+    /// configurations; the CI-sized runs use exact dedup.
+    pub fn hashed_dedup(mut self, on: bool) -> Self {
+        self.hashed_dedup = on;
+        self
+    }
+
+    /// The initial register-file layout (for sibling analyses).
+    pub(crate) fn initial_layout(&self) -> Layout {
+        self.layout.clone()
+    }
+
+    /// The initial machines (for sibling analyses).
+    pub(crate) fn initial_machines(&self) -> &[M] {
+        &self.machines
+    }
+
+    /// The configured state budget.
+    pub(crate) fn state_limit(&self) -> usize {
+        self.max_states
+    }
+
+    /// Canonical state key (exposed to sibling analyses in this crate).
+    pub(crate) fn state_key_of(mem: &SimMemory, machines: &[M], done: &[bool]) -> Vec<u64> {
+        Self::state_key(mem, machines, done)
+    }
+
+    fn state_key(mem: &SimMemory, machines: &[M], done: &[bool]) -> Vec<u64> {
+        let mut key = mem.snapshot();
+        for (m, &d) in machines.iter().zip(done) {
+            key.push(u64::from(d));
+            m.key(&mut key);
+            // Separator guards against ambiguous concatenation of
+            // variable-length machine keys.
+            key.push(u64::MAX);
+        }
+        key
+    }
+
+    /// Exhaustively explores the state space, checking `invariant` in every
+    /// reachable state (including the initial one).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckError::Violation`] with a replayable schedule if the
+    /// invariant fails, or [`CheckError::StateLimit`] if the configured
+    /// state bound is exceeded before the search completes.
+    pub fn check<F>(&self, invariant: F) -> Result<CheckStats, CheckError>
+    where
+        F: Fn(&World<'_, M>) -> Result<(), String>,
+    {
+        let mem = SimMemory::new(&self.layout);
+        let mut stats = CheckStats::default();
+        let mut visited_exact: HashSet<Vec<u64>> = HashSet::new();
+        let mut visited_hash: HashSet<u128> = HashSet::new();
+        let mut insert = |key: Vec<u64>, hashed: bool| -> bool {
+            if hashed {
+                visited_hash.insert(hash128(&key))
+            } else {
+                visited_exact.insert(key)
+            }
+        };
+
+        let done0 = vec![false; self.machines.len()];
+        let key0 = Self::state_key(&mem, &self.machines, &done0);
+        insert(key0, self.hashed_dedup);
+        stats.states = 1;
+        if done0.iter().all(|&d| d) {
+            stats.terminal_states += 1;
+        }
+        let world = World {
+            mem: &mem,
+            machines: &self.machines,
+            done: &done0,
+        };
+        if let Err(message) = invariant(&world) {
+            return Err(CheckError::Violation(Box::new(Violation {
+                message,
+                schedule: vec![],
+                trace: "(violated in the initial state)".into(),
+                stats,
+            })));
+        }
+
+        let mut stack: Vec<Frame<M>> = vec![Frame {
+            mem: mem.snapshot(),
+            machines: self.machines.clone(),
+            done: done0,
+            next: 0,
+            via: usize::MAX,
+        }];
+
+        while let Some(top) = stack.last_mut() {
+            // Pick the next not-yet-tried, not-done machine.
+            let mut i = top.next;
+            while i < top.machines.len() && top.done[i] {
+                i += 1;
+            }
+            if i >= top.machines.len() {
+                stack.pop();
+                continue;
+            }
+            top.next = i + 1;
+
+            mem.restore(&top.mem);
+            let mut machines = top.machines.clone();
+            let mut done = top.done.clone();
+            let status = machines[i].step(&mem);
+            if status.is_done() {
+                done[i] = true;
+            }
+            stats.transitions += 1;
+
+            let key = Self::state_key(&mem, &machines, &done);
+            if !insert(key, self.hashed_dedup) {
+                continue;
+            }
+            stats.states += 1;
+            stats.max_depth = stats.max_depth.max(stack.len());
+            let terminal = done.iter().all(|&d| d);
+            if terminal {
+                stats.terminal_states += 1;
+            }
+            if stats.states as usize > self.max_states {
+                return Err(CheckError::StateLimit {
+                    limit: self.max_states,
+                });
+            }
+
+            let world = World {
+                mem: &mem,
+                machines: &machines,
+                done: &done,
+            };
+            if let Err(message) = invariant(&world) {
+                let mut schedule: Vec<usize> =
+                    stack.iter().map(|f| f.via).filter(|&v| v != usize::MAX).collect();
+                schedule.push(i);
+                let trace = self.render_trace(&schedule);
+                return Err(CheckError::Violation(Box::new(Violation {
+                    message,
+                    schedule,
+                    trace,
+                    stats,
+                })));
+            }
+
+            let frame = Frame {
+                mem: mem.snapshot(),
+                machines,
+                done,
+                next: 0,
+                via: i,
+            };
+            stack.push(frame);
+        }
+
+        Ok(stats)
+    }
+
+    /// Replays a schedule (a sequence of machine indices) from the initial
+    /// state, returning the final memory and machines.
+    ///
+    /// Steps scheduling a machine that is already done are skipped.
+    pub fn run_schedule(&self, schedule: &[usize]) -> (SimMemory, Vec<M>, Vec<bool>) {
+        let mem = SimMemory::new(&self.layout);
+        let mut machines = self.machines.clone();
+        let mut done = vec![false; machines.len()];
+        for &i in schedule {
+            if done[i] {
+                continue;
+            }
+            if machines[i].step(&mem).is_done() {
+                done[i] = true;
+            }
+        }
+        (mem, machines, done)
+    }
+
+    /// Renders a schedule as a step-by-step human-readable trace.
+    pub fn render_trace(&self, schedule: &[usize]) -> String {
+        use std::fmt::Write as _;
+        let mem = SimMemory::new(&self.layout);
+        let mut machines = self.machines.clone();
+        let mut done = vec![false; machines.len()];
+        let mut out = String::new();
+        let _ = writeln!(out, "  init: {}", self.layout.dump(&mem.snapshot()));
+        for (n, &i) in schedule.iter().enumerate() {
+            if done[i] {
+                let _ = writeln!(out, "  #{n:<3} p{i}: (already done, skipped)");
+                continue;
+            }
+            let before = mem.snapshot();
+            if machines[i].step(&mem).is_done() {
+                done[i] = true;
+            }
+            let after = mem.snapshot();
+            let delta: Vec<String> = before
+                .iter()
+                .zip(&after)
+                .enumerate()
+                .filter(|(_, (b, a))| b != a)
+                .map(|(r, (_, a))| {
+                    format!("{}←{}", self.layout.name_of(llr_mem::Loc(r as u32)), a)
+                })
+                .collect();
+            let _ = writeln!(
+                out,
+                "  #{n:<3} p{i}: {} {}",
+                machines[i].describe(),
+                if delta.is_empty() {
+                    String::new()
+                } else {
+                    format!("| {}", delta.join(" "))
+                }
+            );
+        }
+        let _ = writeln!(out, "  final: {}", self.layout.dump(&mem.snapshot()));
+        out
+    }
+
+    /// Runs `walks` random schedules (seeded, hence reproducible), checking
+    /// `invariant` after every step.
+    ///
+    /// Each walk steps uniformly-random running machines until all machines
+    /// are done or `max_steps` is reached. This does not prove anything but
+    /// scales to configurations exhaustive search cannot reach.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Violation`] (with the offending schedule) if the
+    /// invariant ever fails.
+    pub fn random_walks<F>(
+        &self,
+        invariant: F,
+        walks: usize,
+        max_steps: usize,
+        seed: u64,
+    ) -> Result<CheckStats, Box<Violation>>
+    where
+        F: Fn(&World<'_, M>) -> Result<(), String>,
+    {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        let mut stats = CheckStats::default();
+        for w in 0..walks {
+            let mut rng = StdRng::seed_from_u64(seed ^ (w as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mem = SimMemory::new(&self.layout);
+            let mut machines = self.machines.clone();
+            let mut done = vec![false; machines.len()];
+            let mut schedule = Vec::new();
+            for _ in 0..max_steps {
+                let running: Vec<usize> =
+                    (0..machines.len()).filter(|&i| !done[i]).collect();
+                if running.is_empty() {
+                    stats.terminal_states += 1;
+                    break;
+                }
+                let i = running[rng.gen_range(0..running.len())];
+                schedule.push(i);
+                if machines[i].step(&mem).is_done() {
+                    done[i] = true;
+                }
+                stats.transitions += 1;
+                let world = World {
+                    mem: &mem,
+                    machines: &machines,
+                    done: &done,
+                };
+                if let Err(message) = invariant(&world) {
+                    let trace = self.render_trace(&schedule);
+                    return Err(Box::new(Violation {
+                        message,
+                        schedule,
+                        trace,
+                        stats,
+                    }));
+                }
+            }
+            stats.max_depth = stats.max_depth.max(schedule.len());
+        }
+        Ok(stats)
+    }
+
+    /// Bounded-fairness liveness check: steps the machines round-robin
+    /// (skipping finished ones) and requires all of them to finish within
+    /// `max_steps` total steps.
+    ///
+    /// # Errors
+    ///
+    /// Returns the indices of the machines still running if the budget is
+    /// exhausted — evidence of a livelock or an unexpectedly large bound.
+    pub fn round_robin(&self, max_steps: u64) -> Result<u64, Vec<usize>> {
+        let mem = SimMemory::new(&self.layout);
+        let mut machines = self.machines.clone();
+        let mut done = vec![false; machines.len()];
+        let mut steps = 0u64;
+        while steps < max_steps {
+            let mut progressed = false;
+            for i in 0..machines.len() {
+                if done[i] {
+                    continue;
+                }
+                progressed = true;
+                if machines[i].step(&mem).is_done() {
+                    done[i] = true;
+                }
+                steps += 1;
+            }
+            if !progressed {
+                return Ok(steps);
+            }
+        }
+        let stuck: Vec<usize> = (0..machines.len()).filter(|&i| !done[i]).collect();
+        if stuck.is_empty() {
+            Ok(steps)
+        } else {
+            Err(stuck)
+        }
+    }
+}
+
+fn hash128(key: &[u64]) -> u128 {
+    // Two independent 64-bit FNV-style passes with distinct offsets; good
+    // enough for memoization (see `hashed_dedup` docs for the collision
+    // argument).
+    let mut h1 = std::collections::hash_map::DefaultHasher::new();
+    0xA5A5_5A5A_u64.hash(&mut h1);
+    key.hash(&mut h1);
+    let mut h2 = std::collections::hash_map::DefaultHasher::new();
+    0x1234_8765_u64.hash(&mut h2);
+    key.hash(&mut h2);
+    ((h1.finish() as u128) << 64) | h2.finish() as u128
+}
+
+impl<M: StepMachine> ModelChecker<M> {
+    /// Shrinks a violating schedule to a locally-minimal one: repeatedly
+    /// deletes single steps (and then maximal chunks) while the shortened
+    /// schedule still violates `invariant` at its end state or anywhere
+    /// along the way.
+    ///
+    /// DFS counterexamples are often cluttered with irrelevant steps by
+    /// unrelated machines; a shrunk schedule reads like a proof sketch.
+    pub fn shrink_schedule<F>(&self, schedule: &[usize], invariant: F) -> Vec<usize>
+    where
+        F: Fn(&World<'_, M>) -> Result<(), String>,
+    {
+        let violates = |candidate: &[usize]| -> bool {
+            let mem = SimMemory::new(&self.layout);
+            let mut machines = self.machines.clone();
+            let mut done = vec![false; machines.len()];
+            for &i in candidate {
+                if done[i] {
+                    continue;
+                }
+                if machines[i].step(&mem).is_done() {
+                    done[i] = true;
+                }
+                let world = World {
+                    mem: &mem,
+                    machines: &machines,
+                    done: &done,
+                };
+                if invariant(&world).is_err() {
+                    return true;
+                }
+            }
+            false
+        };
+        assert!(
+            violates(schedule),
+            "shrink_schedule needs a schedule that actually violates the invariant"
+        );
+
+        let mut current: Vec<usize> = schedule.to_vec();
+        // Chunked delta-debugging: try removing runs of decreasing size.
+        let mut chunk = current.len().div_ceil(2).max(1);
+        while chunk >= 1 {
+            let mut start = 0;
+            while start < current.len() {
+                let end = (start + chunk).min(current.len());
+                let mut candidate = current.clone();
+                candidate.drain(start..end);
+                if violates(&candidate) {
+                    current = candidate;
+                    // retry the same position (indices shifted left)
+                } else {
+                    start += 1;
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+        current
+    }
+}

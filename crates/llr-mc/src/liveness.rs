@@ -1,0 +1,292 @@
+//! Exhaustive liveness checking: "from every reachable state, the system
+//! can still finish".
+//!
+//! Safety invariants ([`ModelChecker::check`]) say nothing about getting
+//! stuck: a protocol could be exclusion-safe yet drive itself into a
+//! state from which no schedule completes the workload (deadlock, or a
+//! livelock trap where only unproductive cycles remain). This module
+//! builds the full reachable state graph and verifies that **every**
+//! state can reach a terminal state (all machines done).
+//!
+//! For wait-free protocols this is implied by wait-freedom (any fair
+//! schedule finishes from anywhere) — so a trap state is a bug witness.
+//! For blocking substrates like the Peterson–Fischer block, it is
+//! exactly deadlock-freedom.
+//!
+//! The graph for the configurations we check has up to a few million
+//! states; edges are stored as flat `u32` indices.
+
+use crate::checker::{CheckError, CheckStats, ModelChecker, Violation};
+use crate::StepMachine;
+use llr_mem::SimMemory;
+use std::collections::HashMap;
+
+/// Result of a [`ModelChecker::check_always_terminable`] run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LivenessStats {
+    /// Distinct reachable states.
+    pub states: u64,
+    /// Edges in the state graph.
+    pub edges: u64,
+    /// Terminal states (all machines done).
+    pub terminal_states: u64,
+}
+
+impl std::fmt::Display for LivenessStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} states, {} edges, {} terminal",
+            self.states, self.edges, self.terminal_states
+        )
+    }
+}
+
+impl<M: StepMachine> ModelChecker<M> {
+    /// Explores the full reachable state graph and verifies that a
+    /// terminal state (every machine done) is reachable **from every
+    /// reachable state**.
+    ///
+    /// # Errors
+    ///
+    /// * [`CheckError::Violation`] with a schedule leading into a trap
+    ///   region (a reachable state from which no continuation terminates);
+    /// * [`CheckError::StateLimit`] if the graph exceeds the configured
+    ///   state budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state graph exceeds `u32::MAX` states (far beyond
+    /// the configured limits).
+    pub fn check_always_terminable(&self) -> Result<LivenessStats, CheckError> {
+        let mem = SimMemory::new(&self.initial_layout());
+        let machines0 = self.initial_machines().to_vec();
+        let done0 = vec![false; machines0.len()];
+
+        // Forward BFS building the explicit graph.
+        let mut index: HashMap<Vec<u64>, u32> = HashMap::new();
+        let mut states: Vec<(Vec<u64>, Vec<M>, Vec<bool>)> = Vec::new();
+        let mut parent: Vec<(u32, u32)> = Vec::new(); // (pred index, machine stepped)
+        let mut succs: Vec<Vec<u32>> = Vec::new();
+        let mut terminal: Vec<bool> = Vec::new();
+
+        let key0 = Self::state_key_of(&mem, &machines0, &done0);
+        index.insert(key0, 0);
+        states.push((mem.snapshot(), machines0, done0.clone()));
+        parent.push((u32::MAX, u32::MAX));
+        succs.push(Vec::new());
+        terminal.push(done0.iter().all(|&d| d));
+
+        let mut edges = 0u64;
+        let mut frontier = 0usize;
+        while frontier < states.len() {
+            let (snap, machines, done) = states[frontier].clone();
+            for i in 0..machines.len() {
+                if done[i] {
+                    continue;
+                }
+                mem.restore(&snap);
+                let mut ms = machines.clone();
+                let mut ds = done.clone();
+                if ms[i].step(&mem).is_done() {
+                    ds[i] = true;
+                }
+                edges += 1;
+                let key = Self::state_key_of(&mem, &ms, &ds);
+                let next = match index.get(&key) {
+                    Some(&idx) => idx,
+                    None => {
+                        let idx = u32::try_from(states.len()).expect("state graph too large");
+                        if states.len() >= self.state_limit() {
+                            return Err(CheckError::StateLimit {
+                                limit: self.state_limit(),
+                            });
+                        }
+                        index.insert(key, idx);
+                        terminal.push(ds.iter().all(|&d| d));
+                        states.push((mem.snapshot(), ms, ds));
+                        parent.push((frontier as u32, i as u32));
+                        succs.push(Vec::new());
+                        idx
+                    }
+                };
+                succs[frontier].push(next);
+            }
+            frontier += 1;
+        }
+
+        // Backward marking from terminal states over reversed edges.
+        let n = states.len();
+        let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (from, outs) in succs.iter().enumerate() {
+            for &to in outs {
+                preds[to as usize].push(from as u32);
+            }
+        }
+        let mut can_finish = vec![false; n];
+        let mut queue: Vec<u32> = (0..n as u32).filter(|&i| terminal[i as usize]).collect();
+        let terminal_count = queue.len() as u64;
+        for &t in &queue {
+            can_finish[t as usize] = true;
+        }
+        while let Some(s) = queue.pop() {
+            for &p in &preds[s as usize] {
+                if !can_finish[p as usize] {
+                    can_finish[p as usize] = true;
+                    queue.push(p);
+                }
+            }
+        }
+
+        if let Some(trap) = (0..n).find(|&i| !can_finish[i]) {
+            // Reconstruct the schedule into the trap via parent pointers.
+            let mut schedule = Vec::new();
+            let mut cur = trap as u32;
+            while parent[cur as usize].0 != u32::MAX {
+                let (p, via) = parent[cur as usize];
+                schedule.push(via as usize);
+                cur = p;
+            }
+            schedule.reverse();
+            let trace = self.render_trace(&schedule);
+            return Err(CheckError::Violation(Box::new(Violation {
+                message: format!(
+                    "trap state: no continuation from state #{trap} can finish the workload"
+                ),
+                schedule,
+                trace,
+                stats: CheckStats {
+                    states: n as u64,
+                    transitions: edges,
+                    max_depth: 0,
+                    terminal_states: terminal_count,
+                },
+            })));
+        }
+
+        Ok(LivenessStats {
+            states: n as u64,
+            edges,
+            terminal_states: terminal_count,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{MachineStatus, ModelChecker, StepMachine};
+    use llr_mem::{Layout, Loc, Memory};
+
+    /// Two machines that each grab one of two "locks" (plain flags, no
+    /// protocol) in opposite order and spin for the second: the classic
+    /// deadlock. Each also releases and finishes if it ever gets both.
+    #[derive(Clone)]
+    struct DeadlockProne {
+        first: Loc,
+        second: Loc,
+        pc: u8,
+    }
+
+    impl StepMachine for DeadlockProne {
+        fn step(&mut self, mem: &dyn Memory) -> MachineStatus {
+            match self.pc {
+                // test-and-grab first lock (non-atomically, but alone per
+                // lock order it "works")
+                0 => {
+                    if mem.read(self.first) == 0 {
+                        self.pc = 1;
+                    }
+                    MachineStatus::Running
+                }
+                1 => {
+                    mem.write(self.first, 1);
+                    self.pc = 2;
+                    MachineStatus::Running
+                }
+                2 => {
+                    if mem.read(self.second) == 0 {
+                        self.pc = 3;
+                    }
+                    MachineStatus::Running
+                }
+                3 => {
+                    mem.write(self.second, 1);
+                    self.pc = 4;
+                    MachineStatus::Running
+                }
+                4 => {
+                    mem.write(self.first, 0);
+                    self.pc = 5;
+                    MachineStatus::Running
+                }
+                _ => {
+                    mem.write(self.second, 0);
+                    MachineStatus::Done
+                }
+            }
+        }
+
+        fn key(&self, out: &mut Vec<u64>) {
+            out.push(self.pc as u64);
+        }
+
+        fn describe(&self) -> String {
+            format!("DeadlockProne(pc={})", self.pc)
+        }
+    }
+
+    #[test]
+    fn finds_the_classic_deadlock() {
+        let mut layout = Layout::new();
+        let a = layout.scalar("A", 0);
+        let b = layout.scalar("B", 0);
+        let mc = ModelChecker::new(
+            layout,
+            vec![
+                DeadlockProne { first: a, second: b, pc: 0 },
+                DeadlockProne { first: b, second: a, pc: 0 },
+            ],
+        );
+        let err = mc.check_always_terminable().unwrap_err();
+        let v = match err {
+            crate::CheckError::Violation(v) => v,
+            other => panic!("expected a trap, got {other:?}"),
+        };
+        assert!(v.message.contains("trap state"), "{}", v.message);
+        // Replaying the schedule must land both machines mid-acquisition.
+        let (_, _, done) = mc.run_schedule(&v.schedule);
+        assert!(done.iter().all(|&d| !d));
+    }
+
+    #[test]
+    fn straight_line_machines_always_terminable() {
+        #[derive(Clone)]
+        struct Writer {
+            x: Loc,
+            left: u8,
+        }
+        impl StepMachine for Writer {
+            fn step(&mut self, mem: &dyn Memory) -> MachineStatus {
+                mem.write(self.x, self.left as u64);
+                self.left -= 1;
+                if self.left == 0 {
+                    MachineStatus::Done
+                } else {
+                    MachineStatus::Running
+                }
+            }
+            fn key(&self, out: &mut Vec<u64>) {
+                out.push(self.left as u64);
+            }
+            fn describe(&self) -> String {
+                format!("left={}", self.left)
+            }
+        }
+        let mut layout = Layout::new();
+        let x = layout.scalar("X", 0);
+        let mc = ModelChecker::new(layout, vec![Writer { x, left: 3 }, Writer { x, left: 3 }]);
+        let stats = mc.check_always_terminable().unwrap();
+        assert_eq!(stats.terminal_states, 1);
+        assert!(stats.states >= 7);
+    }
+}

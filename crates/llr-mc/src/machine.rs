@@ -1,0 +1,61 @@
+//! The step-machine abstraction: a process as an explicit state machine.
+
+use llr_mem::Memory;
+
+/// Whether a machine can take further steps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MachineStatus {
+    /// The machine has more steps to take (it may be spinning on a busy-wait
+    /// loop — the checker's visited-state memoization handles such cycles).
+    Running,
+    /// The machine has finished its workload; the scheduler must not step it
+    /// again.
+    Done,
+}
+
+impl MachineStatus {
+    /// `true` iff the machine can still be scheduled.
+    pub fn is_running(self) -> bool {
+        matches!(self, MachineStatus::Running)
+    }
+
+    /// `true` iff the machine has finished.
+    pub fn is_done(self) -> bool {
+        matches!(self, MachineStatus::Done)
+    }
+}
+
+/// A process expressed as an explicit state machine over shared registers.
+///
+/// Implementations must obey three rules for model checking to be sound:
+///
+/// 1. **One shared access per step.** Each [`step`](Self::step) call performs
+///    at most one [`Memory::read`] or [`Memory::write`] — the paper's
+///    atomicity granularity. Purely local transitions inside a step are
+///    fine (and encouraged, to keep the state space small), as long as no
+///    second shared access happens.
+/// 2. **Determinism.** Given the machine's state and the values read,
+///    `step` must be deterministic; all nondeterminism lives in the
+///    scheduler.
+/// 3. **Faithful keys.** [`key`](Self::key) must encode *all* state that
+///    influences future behaviour (program counter and every live local).
+///    Two machines with equal keys and equal shared memory must behave
+///    identically forever. Omitting a live local from the key makes the
+///    checker unsound (it would merge distinct states).
+///
+/// Machines are `Clone` so the checker can branch, and are reused on real
+/// threads by the `llr-core` harness (where `step` is driven in a loop over
+/// an `AtomicMemory`).
+pub trait StepMachine: Clone {
+    /// Executes the next atomic statement.
+    ///
+    /// Returns [`MachineStatus::Done`] when the machine's entire workload is
+    /// complete; after that the scheduler will not call `step` again.
+    fn step(&mut self, mem: &dyn Memory) -> MachineStatus;
+
+    /// Appends a canonical encoding of the machine's local state to `out`.
+    fn key(&self, out: &mut Vec<u64>);
+
+    /// One-line human-readable state description for counterexample traces.
+    fn describe(&self) -> String;
+}

@@ -1,0 +1,111 @@
+//! Multi-thread register file backed by sequentially-consistent atomics.
+
+use crate::{Layout, Loc, Memory, Word};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A register file usable from many threads at once.
+///
+/// Every read and write uses `SeqCst` ordering: the paper's model assumes
+/// atomic (linearizable) registers, and sequential consistency is the
+/// standard way to realize that model on real hardware. The protocols'
+/// correctness proofs reason about a single global order of register
+/// operations, which `SeqCst` provides.
+///
+/// # Example
+///
+/// ```
+/// use llr_mem::{AtomicMemory, Layout, Memory};
+/// use std::sync::Arc;
+///
+/// let mut l = Layout::new();
+/// let x = l.scalar("X", 0);
+/// let mem = Arc::new(AtomicMemory::new(&l));
+/// let m2 = Arc::clone(&mem);
+/// std::thread::spawn(move || m2.write(x, 1)).join().unwrap();
+/// assert!(mem.read(x) <= 1);
+/// ```
+#[derive(Debug)]
+pub struct AtomicMemory {
+    cells: Box<[AtomicU64]>,
+}
+
+impl AtomicMemory {
+    /// Creates a register file with the layout's initial values.
+    pub fn new(layout: &Layout) -> Self {
+        Self::with_values(layout.initial_values())
+    }
+
+    /// Creates a register file from explicit initial values.
+    pub fn with_values(values: &[Word]) -> Self {
+        Self {
+            cells: values.iter().map(|&v| AtomicU64::new(v)).collect(),
+        }
+    }
+
+    /// Copies the current register contents out (not atomic as a whole;
+    /// intended for debugging and post-quiescence inspection).
+    pub fn snapshot(&self) -> Vec<Word> {
+        self.cells.iter().map(|c| c.load(Ordering::SeqCst)).collect()
+    }
+}
+
+impl Memory for AtomicMemory {
+    #[inline]
+    fn read(&self, loc: Loc) -> Word {
+        self.cells[loc.index()].load(Ordering::SeqCst)
+    }
+
+    #[inline]
+    fn write(&self, loc: Loc, val: Word) {
+        self.cells[loc.index()].store(val, Ordering::SeqCst)
+    }
+
+    fn len(&self) -> usize {
+        self.cells.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn initial_values_respected() {
+        let mut l = Layout::new();
+        l.scalar("A", 11);
+        l.array("B", 2, 22);
+        let mem = AtomicMemory::new(&l);
+        assert_eq!(mem.snapshot(), vec![11, 22, 22]);
+    }
+
+    #[test]
+    fn concurrent_writers_land_one_value() {
+        // Many threads write distinct values to one register; the final
+        // value must be one of them (atomicity: no tearing, no invention).
+        let mut l = Layout::new();
+        let x = l.scalar("X", 0);
+        let mem = Arc::new(AtomicMemory::new(&l));
+        let handles: Vec<_> = (1..=8u64)
+            .map(|v| {
+                let m = Arc::clone(&mem);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        m.write(x, v);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let v = mem.read(x);
+        assert!((1..=8).contains(&v), "unexpected final value {v}");
+    }
+
+    #[test]
+    fn is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AtomicMemory>();
+    }
+}

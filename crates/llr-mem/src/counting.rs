@@ -1,0 +1,127 @@
+//! A per-handle access-counting view of any memory.
+
+use crate::{Loc, Memory, Word};
+use std::cell::Cell;
+
+/// Wraps a [`Memory`] and counts the reads and writes performed *through
+/// this wrapper* — the paper's per-operation time measure.
+///
+/// [`crate::AtomicMemory`] deliberately does not count globally (a shared
+/// counter would serialize the very contention the benchmarks measure);
+/// instead, each process handle wraps the shared memory in its own
+/// `Counting` view.
+///
+/// # Example
+///
+/// ```
+/// use llr_mem::{AtomicMemory, Counting, Layout, Memory};
+///
+/// let mut l = Layout::new();
+/// let x = l.scalar("X", 0);
+/// let mem = AtomicMemory::new(&l);
+/// let view = Counting::new(&mem);
+/// view.write(x, 1);
+/// let _ = view.read(x);
+/// assert_eq!(view.accesses(), 2);
+/// ```
+#[derive(Debug)]
+pub struct Counting<'a, M: ?Sized> {
+    inner: &'a M,
+    reads: Cell<u64>,
+    writes: Cell<u64>,
+}
+
+impl<'a, M: Memory + ?Sized> Counting<'a, M> {
+    /// Creates a counting view over `inner` with zeroed counters.
+    pub fn new(inner: &'a M) -> Self {
+        Self {
+            inner,
+            reads: Cell::new(0),
+            writes: Cell::new(0),
+        }
+    }
+
+    /// Reads performed through this view.
+    pub fn reads(&self) -> u64 {
+        self.reads.get()
+    }
+
+    /// Writes performed through this view.
+    pub fn writes(&self) -> u64 {
+        self.writes.get()
+    }
+
+    /// Total accesses through this view.
+    pub fn accesses(&self) -> u64 {
+        self.reads.get() + self.writes.get()
+    }
+
+    /// Resets the counters.
+    pub fn reset(&self) {
+        self.reads.set(0);
+        self.writes.set(0);
+    }
+}
+
+impl<M: Memory + ?Sized> Memory for Counting<'_, M> {
+    #[inline]
+    fn read(&self, loc: Loc) -> Word {
+        self.reads.set(self.reads.get() + 1);
+        self.inner.read(loc)
+    }
+
+    #[inline]
+    fn write(&self, loc: Loc, val: Word) {
+        self.writes.set(self.writes.get() + 1);
+        self.inner.write(loc, val)
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AtomicMemory, Layout};
+
+    #[test]
+    fn counts_are_per_view() {
+        let mut l = Layout::new();
+        let x = l.scalar("X", 0);
+        let mem = AtomicMemory::new(&l);
+        let v1 = Counting::new(&mem);
+        let v2 = Counting::new(&mem);
+        v1.write(x, 1);
+        let _ = v2.read(x);
+        let _ = v2.read(x);
+        assert_eq!(v1.accesses(), 1);
+        assert_eq!(v2.accesses(), 2);
+        assert_eq!(v1.writes(), 1);
+        assert_eq!(v2.reads(), 2);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut l = Layout::new();
+        let x = l.scalar("X", 0);
+        let mem = AtomicMemory::new(&l);
+        let v = Counting::new(&mem);
+        v.write(x, 1);
+        v.reset();
+        assert_eq!(v.accesses(), 0);
+    }
+
+    #[test]
+    fn works_over_dyn_memory() {
+        let mut l = Layout::new();
+        let x = l.scalar("X", 5);
+        let mem = AtomicMemory::new(&l);
+        let dynmem: &dyn Memory = &mem;
+        let v = Counting::new(dynmem);
+        assert_eq!(v.read(x), 5);
+        assert_eq!(v.len(), 1);
+        assert!(!v.is_empty());
+    }
+}

@@ -1,0 +1,316 @@
+//! Register-file layout builder.
+//!
+//! Protocols allocate their shared variables through a [`Layout`] so that
+//! every register has (a) a stable index, (b) an initial value, and (c) a
+//! symbolic name. The names make model-checker counterexamples readable
+//! ("`T3/L2/ME0.R[right] = nil`" instead of "`reg 417 = 2`").
+
+use crate::Word;
+use std::fmt;
+
+/// Index of a single shared register within a register file.
+///
+/// `Loc` is a plain newtype over the register index; it is cheap to copy and
+/// is the only way to address memory through [`crate::Memory`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Loc(pub u32);
+
+impl Loc {
+    /// The raw index of this register.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Loc({})", self.0)
+    }
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A contiguous run of registers allocated together (a shared array).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ArrayLoc {
+    base: u32,
+    len: u32,
+}
+
+impl ArrayLoc {
+    /// Location of element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn at(self, i: usize) -> Loc {
+        assert!(
+            i < self.len as usize,
+            "array index {i} out of bounds (len {})",
+            self.len
+        );
+        Loc(self.base + i as u32)
+    }
+
+    /// Number of registers in the array.
+    pub fn len(self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the array has zero registers.
+    pub fn is_empty(self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterate over the element locations.
+    pub fn iter(self) -> impl Iterator<Item = Loc> {
+        (self.base..self.base + self.len).map(Loc)
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Region {
+    name: String,
+    base: u32,
+    len: u32,
+}
+
+/// Builder for a register file: allocates scalars and arrays, records their
+/// names and initial values, and later resolves indices back to names.
+///
+/// # Example
+///
+/// ```
+/// use llr_mem::Layout;
+///
+/// let mut l = Layout::new();
+/// let x = l.scalar("X", 0);
+/// let p = l.array("P", 3, 0);
+/// assert_eq!(l.len(), 4);
+/// assert_eq!(l.name_of(x), "X");
+/// assert_eq!(l.name_of(p.at(2)), "P[2]");
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Layout {
+    regions: Vec<Region>,
+    initial: Vec<Word>,
+}
+
+impl Layout {
+    /// Creates an empty layout.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates one register named `name` with initial value `init`.
+    pub fn scalar(&mut self, name: impl Into<String>, init: Word) -> Loc {
+        let base = self.initial.len() as u32;
+        self.regions.push(Region {
+            name: name.into(),
+            base,
+            len: 1,
+        });
+        self.initial.push(init);
+        Loc(base)
+    }
+
+    /// Allocates `len` contiguous registers named `name`, all initialized to
+    /// `init`.
+    pub fn array(&mut self, name: impl Into<String>, len: usize, init: Word) -> ArrayLoc {
+        let base = self.initial.len() as u32;
+        self.regions.push(Region {
+            name: name.into(),
+            base,
+            len: len as u32,
+        });
+        self.initial.extend(std::iter::repeat_n(init, len));
+        ArrayLoc {
+            base,
+            len: len as u32,
+        }
+    }
+
+    /// Total number of registers allocated so far.
+    pub fn len(&self) -> usize {
+        self.initial.len()
+    }
+
+    /// Whether no registers have been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.initial.is_empty()
+    }
+
+    /// The initial register values, in allocation order.
+    pub fn initial_values(&self) -> &[Word] {
+        &self.initial
+    }
+
+    /// Overrides the initial value of an already-allocated register.
+    ///
+    /// Useful for model-checking a protocol from several starting
+    /// configurations (e.g. verifying that the splitter is safe regardless
+    /// of the advice registers' initial contents).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loc` was not allocated by this layout.
+    pub fn set_initial(&mut self, loc: Loc, init: Word) {
+        self.initial[loc.index()] = init;
+    }
+
+    /// Resolves a location to its symbolic name (`"NAME"` for scalars,
+    /// `"NAME[i]"` for array elements, `"r<idx>?"` if unallocated).
+    pub fn name_of(&self, loc: Loc) -> String {
+        let idx = loc.0;
+        // Regions are sorted by base because allocation is append-only.
+        let pos = self
+            .regions
+            .partition_point(|r| r.base <= idx)
+            .checked_sub(1);
+        if let Some(p) = pos {
+            let r = &self.regions[p];
+            if idx < r.base + r.len {
+                return if r.len == 1 {
+                    r.name.clone()
+                } else {
+                    format!("{}[{}]", r.name, idx - r.base)
+                };
+            }
+        }
+        format!("r{idx}?")
+    }
+
+    /// Renders `values` (one per register) as a compact human-readable dump.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != self.len()`.
+    pub fn dump(&self, values: &[Word]) -> String {
+        assert_eq!(values.len(), self.len(), "dump length mismatch");
+        let mut out = String::new();
+        for r in &self.regions {
+            if !out.is_empty() {
+                out.push_str(", ");
+            }
+            if r.len == 1 {
+                out.push_str(&format!("{}={}", r.name, values[r.base as usize]));
+            } else {
+                let vals: Vec<String> = (0..r.len)
+                    .map(|i| values[(r.base + i) as usize].to_string())
+                    .collect();
+                out.push_str(&format!("{}=[{}]", r.name, vals.join(",")));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_is_contiguous() {
+        let mut l = Layout::new();
+        let a = l.scalar("A", 1);
+        let b = l.array("B", 3, 2);
+        let c = l.scalar("C", 3);
+        assert_eq!(a, Loc(0));
+        assert_eq!(b.at(0), Loc(1));
+        assert_eq!(b.at(2), Loc(3));
+        assert_eq!(c, Loc(4));
+        assert_eq!(l.initial_values(), &[1, 2, 2, 2, 3]);
+    }
+
+    #[test]
+    fn names_resolve() {
+        let mut l = Layout::new();
+        let a = l.scalar("LAST", 0);
+        let b = l.array("ADVICE", 2, 0);
+        assert_eq!(l.name_of(a), "LAST");
+        assert_eq!(l.name_of(b.at(0)), "ADVICE[0]");
+        assert_eq!(l.name_of(b.at(1)), "ADVICE[1]");
+        assert_eq!(l.name_of(Loc(99)), "r99?");
+    }
+
+    #[test]
+    fn dump_renders_all_regions() {
+        let mut l = Layout::new();
+        l.scalar("X", 0);
+        l.array("Y", 2, 0);
+        let s = l.dump(&[7, 8, 9]);
+        assert_eq!(s, "X=7, Y=[8,9]");
+    }
+
+    #[test]
+    fn set_initial_overrides() {
+        let mut l = Layout::new();
+        let x = l.scalar("X", 0);
+        l.set_initial(x, 5);
+        assert_eq!(l.initial_values(), &[5]);
+    }
+
+    #[test]
+    fn array_iter_covers_all() {
+        let mut l = Layout::new();
+        let a = l.array("A", 4, 0);
+        let locs: Vec<Loc> = a.iter().collect();
+        assert_eq!(locs, vec![Loc(0), Loc(1), Loc(2), Loc(3)]);
+        assert_eq!(a.len(), 4);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn array_bounds_checked() {
+        let mut l = Layout::new();
+        let a = l.array("A", 2, 0);
+        let _ = a.at(2);
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+
+    #[test]
+    fn loc_display_and_ordering() {
+        assert_eq!(Loc(5).to_string(), "r5");
+        assert_eq!(format!("{:?}", Loc(5)), "Loc(5)");
+        assert!(Loc(1) < Loc(2));
+        assert_eq!(Loc(3).index(), 3);
+    }
+
+    #[test]
+    fn empty_array_region() {
+        let mut l = Layout::new();
+        let a = l.array("EMPTY", 0, 0);
+        assert!(a.is_empty());
+        assert_eq!(a.iter().count(), 0);
+        // A following scalar still allocates correctly.
+        let x = l.scalar("X", 9);
+        assert_eq!(x, Loc(0));
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn name_lookup_across_many_regions() {
+        let mut l = Layout::new();
+        for i in 0..50 {
+            l.array(format!("R{i}"), 3, i);
+        }
+        assert_eq!(l.name_of(Loc(0)), "R0[0]");
+        assert_eq!(l.name_of(Loc(49 * 3 + 2)), "R49[2]");
+        assert_eq!(l.name_of(Loc(25 * 3 + 1)), "R25[1]");
+    }
+
+    #[test]
+    fn dump_of_empty_layout() {
+        let l = Layout::new();
+        assert_eq!(l.dump(&[]), "");
+    }
+}

@@ -1,0 +1,123 @@
+//! Shared-memory register substrate for the long-lived renaming protocols.
+//!
+//! The paper ("Long-Lived Renaming Made Fast", Buhrman–Garay–Hoepman–Moir,
+//! 1995) assumes an asynchronous shared-memory system in which processes
+//! communicate through variables that can be **atomically read or written**,
+//! and measures time complexity as the **number of shared-memory accesses**.
+//! This crate provides that model:
+//!
+//! * [`Memory`] — the register-file abstraction (indexed single-word atomic
+//!   registers with read/write operations only);
+//! * [`AtomicMemory`] — a real, multi-thread implementation backed by
+//!   sequentially-consistent atomics, used by the threaded harness and the
+//!   benchmarks;
+//! * [`SimMemory`] — a deterministic, snapshot-able, single-threaded
+//!   implementation with access accounting, used by the `llr-mc` model
+//!   checker to explore every interleaving of a protocol;
+//! * [`Layout`] — a register-file layout builder that assigns symbolic names
+//!   to registers so model-checker counterexamples and debug dumps are
+//!   readable.
+//!
+//! Protocols in `llr-core` are written once, as explicit step machines that
+//! perform **at most one** `Memory` access per step (the paper's atomicity
+//! granularity: "each labelled statement contains at most one access of a
+//! shared variable"), and then run unchanged on either memory model.
+//!
+//! # Example
+//!
+//! ```
+//! use llr_mem::{Layout, Memory, SimMemory};
+//!
+//! let mut layout = Layout::new();
+//! let last = layout.scalar("LAST", 0);
+//! let advice = layout.array("ADVICE", 2, 1);
+//! let mem = SimMemory::new(&layout);
+//! mem.write(last, 7);
+//! assert_eq!(mem.read(last), 7);
+//! assert_eq!(mem.read(advice.at(1)), 1);
+//! assert_eq!(mem.accesses(), 3);
+//! ```
+
+mod atomic;
+mod counting;
+mod layout;
+mod sim;
+
+pub use atomic::AtomicMemory;
+pub use counting::Counting;
+pub use layout::{ArrayLoc, Layout, Loc};
+pub use sim::SimMemory;
+
+/// The value type stored in every shared register.
+///
+/// Protocols encode their domains (process ids, `{-1, ⊥, 1}` advice values,
+/// booleans, `nil`-able bits) into `Word`s; see the encoding helpers in
+/// `llr-core` for the encodings.
+pub type Word = u64;
+
+/// A single-word, atomically readable/writable register file.
+///
+/// This is the paper's entire inter-process communication model: no
+/// test-and-set, no compare-and-swap — reads and writes only. Both methods
+/// take `&self`; implementations provide interior mutability
+/// ([`AtomicMemory`] via atomics, [`SimMemory`] via `Cell`).
+pub trait Memory {
+    /// Atomically reads the register at `loc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loc` is out of bounds for this register file.
+    fn read(&self, loc: Loc) -> Word;
+
+    /// Atomically writes `val` to the register at `loc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loc` is out of bounds for this register file.
+    fn write(&self, loc: Loc, val: Word);
+
+    /// Number of registers in the file.
+    fn len(&self) -> usize;
+
+    /// Whether the register file is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_layout() -> Layout {
+        let mut l = Layout::new();
+        l.scalar("A", 3);
+        l.array("B", 4, 9);
+        l.scalar("C", 0);
+        l
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let layout = small_layout();
+        let sim = SimMemory::new(&layout);
+        let atomic = AtomicMemory::new(&layout);
+        let mems: Vec<&dyn Memory> = vec![&sim, &atomic];
+        for mem in mems {
+            assert_eq!(mem.len(), 6);
+            assert!(!mem.is_empty());
+            assert_eq!(mem.read(Loc(0)), 3);
+            assert_eq!(mem.read(Loc(2)), 9);
+            mem.write(Loc(5), 42);
+            assert_eq!(mem.read(Loc(5)), 42);
+        }
+    }
+
+    #[test]
+    fn empty_file() {
+        let layout = Layout::new();
+        let sim = SimMemory::new(&layout);
+        assert!(sim.is_empty());
+        assert_eq!(sim.len(), 0);
+    }
+}

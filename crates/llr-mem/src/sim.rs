@@ -1,0 +1,159 @@
+//! Deterministic single-threaded register file for simulation and model
+//! checking.
+
+use crate::{Layout, Loc, Memory, Word};
+use std::cell::Cell;
+
+/// A snapshot-able register file with access accounting.
+///
+/// `SimMemory` is the memory model used by the `llr-mc` model checker and by
+/// deterministic schedule replays: it is single-threaded (`!Sync`), counts
+/// every read and write (the paper's complexity measure), and can be
+/// captured/restored in O(len) so the checker can branch over
+/// interleavings.
+///
+/// # Example
+///
+/// ```
+/// use llr_mem::{Layout, Memory, SimMemory};
+///
+/// let mut l = Layout::new();
+/// let x = l.scalar("X", 0);
+/// let mem = SimMemory::new(&l);
+/// mem.write(x, 3);
+/// let snap = mem.snapshot();
+/// mem.write(x, 4);
+/// mem.restore(&snap);
+/// assert_eq!(mem.read(x), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimMemory {
+    cells: Vec<Cell<Word>>,
+    reads: Cell<u64>,
+    writes: Cell<u64>,
+}
+
+impl SimMemory {
+    /// Creates a register file with the layout's initial values.
+    pub fn new(layout: &Layout) -> Self {
+        Self::with_values(layout.initial_values())
+    }
+
+    /// Creates a register file from explicit initial values.
+    pub fn with_values(values: &[Word]) -> Self {
+        Self {
+            cells: values.iter().map(|&v| Cell::new(v)).collect(),
+            reads: Cell::new(0),
+            writes: Cell::new(0),
+        }
+    }
+
+    /// Copies the current register contents out.
+    pub fn snapshot(&self) -> Vec<Word> {
+        self.cells.iter().map(Cell::get).collect()
+    }
+
+    /// Restores register contents from a snapshot (access counters are left
+    /// untouched).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != self.len()`.
+    pub fn restore(&self, values: &[Word]) {
+        assert_eq!(values.len(), self.cells.len(), "snapshot length mismatch");
+        for (c, &v) in self.cells.iter().zip(values) {
+            c.set(v);
+        }
+    }
+
+    /// Number of reads performed since construction (or the last
+    /// [`reset_accesses`](Self::reset_accesses)).
+    pub fn reads(&self) -> u64 {
+        self.reads.get()
+    }
+
+    /// Number of writes performed since construction (or the last
+    /// [`reset_accesses`](Self::reset_accesses)).
+    pub fn writes(&self) -> u64 {
+        self.writes.get()
+    }
+
+    /// Total shared-memory accesses (reads + writes) — the paper's time
+    /// measure.
+    pub fn accesses(&self) -> u64 {
+        self.reads.get() + self.writes.get()
+    }
+
+    /// Resets the read/write counters to zero.
+    pub fn reset_accesses(&self) {
+        self.reads.set(0);
+        self.writes.set(0);
+    }
+}
+
+impl Memory for SimMemory {
+    #[inline]
+    fn read(&self, loc: Loc) -> Word {
+        self.reads.set(self.reads.get() + 1);
+        self.cells[loc.index()].get()
+    }
+
+    #[inline]
+    fn write(&self, loc: Loc, val: Word) {
+        self.writes.set(self.writes.get() + 1);
+        self.cells[loc.index()].set(val)
+    }
+
+    fn len(&self) -> usize {
+        self.cells.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem3() -> SimMemory {
+        SimMemory::with_values(&[0, 1, 2])
+    }
+
+    #[test]
+    fn reads_and_writes_counted_separately() {
+        let m = mem3();
+        let _ = m.read(Loc(0));
+        let _ = m.read(Loc(1));
+        m.write(Loc(2), 9);
+        assert_eq!(m.reads(), 2);
+        assert_eq!(m.writes(), 1);
+        assert_eq!(m.accesses(), 3);
+        m.reset_accesses();
+        assert_eq!(m.accesses(), 0);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let m = mem3();
+        m.write(Loc(0), 7);
+        let snap = m.snapshot();
+        m.write(Loc(0), 8);
+        m.write(Loc(2), 8);
+        m.restore(&snap);
+        assert_eq!(m.snapshot(), vec![7, 1, 2]);
+    }
+
+    #[test]
+    fn restore_does_not_touch_counters() {
+        let m = mem3();
+        let snap = m.snapshot();
+        m.write(Loc(0), 1);
+        m.restore(&snap);
+        assert_eq!(m.writes(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot length mismatch")]
+    fn restore_checks_length() {
+        let m = mem3();
+        m.restore(&[0]);
+    }
+}

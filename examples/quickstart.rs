@@ -1,0 +1,73 @@
+//! Quickstart: rename huge process ids to a tiny dense name space, three
+//! ways (SPLIT, FILTER, and the Theorem 11 chain).
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use llr_core::chain::Chain;
+use llr_core::filter::Filter;
+use llr_core::split::Split;
+use llr_core::traits::{Renaming, RenamingHandle};
+use llr_gf::FilterParams;
+
+fn main() {
+    let k = 4; // at most 4 processes are ever active at once
+
+    // --- SPLIT: any 64-bit id, O(k) time, 3^(k-1) names -----------------
+    let split = Split::new(k);
+    println!(
+        "SPLIT      : S = 2^64, D = {:>5}, k = {k}",
+        split.dest_size()
+    );
+    let mut h = split.handle(0xDEAD_BEEF_CAFE);
+    let name = h.acquire();
+    println!(
+        "  pid 0xDEAD_BEEF_CAFE acquired name {name:>3} in {} shared accesses",
+        h.accesses()
+    );
+    h.release();
+
+    // --- FILTER: here S = 100 000, parameters chosen automatically ------
+    let params = FilterParams::choose(k, 100_000).expect("feasible parameters");
+    let participants: Vec<u64> = (0..16).map(|i| i * 3_121 + 2).collect();
+    let filter = Filter::new(params, &participants).expect("valid participants");
+    println!(
+        "FILTER     : S = {:>5}, D = {:>5}, d = {}, z = {}",
+        filter.source_size(),
+        filter.dest_size(),
+        params.degree(),
+        params.modulus()
+    );
+    let mut h = filter.handle(participants[7]);
+    let name = h.acquire();
+    println!(
+        "  pid {} acquired name {name:>3} in {} shared accesses",
+        participants[7],
+        h.accesses()
+    );
+    h.release();
+
+    // --- Theorem 11 chain: any S → k(k+1)/2 names in O(k³) --------------
+    let chain = Chain::theorem11(k).expect("valid k");
+    println!(
+        "CHAIN      : S = 2^64, D = {:>5}, funnel = {:?}",
+        chain.dest_size(),
+        chain.funnel()
+    );
+    let mut h = chain.handle(u64::MAX - 7);
+    let name = h.acquire();
+    println!(
+        "  pid 2^64-8 acquired name {name:>3} in {} shared accesses \
+         (stage names: {:?})",
+        h.accesses(),
+        h.stage_names()
+    );
+    h.release();
+
+    // Names are long-lived: release and reacquire forever.
+    let mut h = chain.handle(12345);
+    for round in 0..3 {
+        let name = h.acquire();
+        println!("  round {round}: pid 12345 holds name {name}");
+        h.release();
+    }
+}

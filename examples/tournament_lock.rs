@@ -1,0 +1,56 @@
+//! The substrate as a product: FILTER's tournament tree, used standalone,
+//! is an `n`-process mutual-exclusion lock built purely from reads and
+//! writes (Peterson–Fischer 1977, the paper's Section 4.2).
+//!
+//! Eight threads with sparse 16-bit ids increment an unprotected counter
+//! 10 000 times each under the lock; the total proves exclusion.
+//!
+//! Run with: `cargo run --release --example tournament_lock`
+
+use llr_core::tournament::TreeMutex;
+use std::cell::UnsafeCell;
+use std::sync::Arc;
+
+/// Deliberately unprotected shared data: only mutual exclusion makes the
+/// unsynchronized increments below sound.
+struct Counter(UnsafeCell<u64>);
+// SAFETY: every access happens inside the TreeMutex critical section.
+unsafe impl Sync for Counter {}
+
+fn main() {
+    let pids: Vec<u64> = (0..8u64).map(|i| i * 8191 + 13).collect();
+    let mutex = Arc::new(TreeMutex::new(1 << 16, &pids));
+    let counter = Arc::new(Counter(UnsafeCell::new(0)));
+
+    println!(
+        "tournament lock over a 2^16 id space: {} levels, {} ME blocks allocated (sparse)",
+        mutex.shape().levels(),
+        mutex.shape().allocated_blocks()
+    );
+
+    let handles: Vec<_> = pids
+        .iter()
+        .map(|&pid| {
+            let mutex = Arc::clone(&mutex);
+            let counter = Arc::clone(&counter);
+            std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    let guard = mutex.lock(pid);
+                    // SAFETY: inside the critical section.
+                    unsafe { *counter.0.get() += 1 };
+                    drop(guard);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // SAFETY: all threads joined.
+    let total = unsafe { *counter.0.get() };
+    println!("8 threads × 10 000 locked increments = {total}");
+    assert_eq!(total, 80_000, "mutual exclusion violated");
+    println!("exclusion held (and the same tree is verified over every");
+    println!("interleaving by `cargo run -p llr-bench --release -- e2`).");
+}

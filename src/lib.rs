@@ -1,0 +1,1 @@
+pub use llr_core as core_protocols;

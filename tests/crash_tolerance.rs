@@ -1,0 +1,201 @@
+//! Failure injection: wait-freedom means a process that crashes (stops
+//! taking steps forever) at *any* point — mid-enter, mid-release, while
+//! holding a name — cannot prevent the remaining processes from
+//! completing their acquire/release cycles.
+//!
+//! For every protocol we freeze one process at every possible step index
+//! of its workload and drive the others round-robin to completion under
+//! a generous step budget.
+
+use llr_core::filter::spec::FilterUser;
+use llr_core::filter::FilterShape;
+use llr_core::ma::spec::MaUser;
+use llr_core::ma::MaShape;
+use llr_core::split::spec::SplitUser;
+use llr_core::split::SplitShape;
+use llr_core::splitter::spec::SplitterUser;
+use llr_core::splitter::SplitterRegs;
+use llr_mc::StepMachine;
+use llr_mem::{Layout, SimMemory};
+
+/// Steps `machines[victim]` exactly `stall_after` times (unless it
+/// finishes first), then freezes it and drives everyone else round-robin.
+///
+/// Returns `Err(steps)` if the survivors fail to finish within `budget`.
+fn survivors_finish<M: StepMachine>(
+    layout: &Layout,
+    mut machines: Vec<M>,
+    victim: usize,
+    stall_after: usize,
+    budget: u64,
+) -> Result<(), u64> {
+    let mem = SimMemory::new(layout);
+    let mut done = vec![false; machines.len()];
+    for _ in 0..stall_after {
+        if done[victim] {
+            break;
+        }
+        if machines[victim].step(&mem).is_done() {
+            done[victim] = true;
+        }
+    }
+    // The victim now takes no further steps — it has crashed.
+    let mut steps = 0u64;
+    loop {
+        let mut progressed = false;
+        for i in 0..machines.len() {
+            if i == victim || done[i] {
+                continue;
+            }
+            progressed = true;
+            if machines[i].step(&mem).is_done() {
+                done[i] = true;
+            }
+            steps += 1;
+            if steps > budget {
+                return Err(steps);
+            }
+        }
+        if !progressed {
+            return Ok(());
+        }
+    }
+}
+
+/// Exercises every (victim, stall point) combination.
+fn sweep<M: StepMachine>(
+    layout: &Layout,
+    make: impl Fn() -> Vec<M>,
+    max_stall: usize,
+    budget: u64,
+    what: &str,
+) {
+    let n = make().len();
+    for victim in 0..n {
+        for stall_after in 0..=max_stall {
+            if let Err(steps) = survivors_finish(layout, make(), victim, stall_after, budget) {
+                panic!(
+                    "{what}: survivors stuck after {steps} steps \
+                     (victim {victim} frozen after {stall_after} steps)"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn splitter_survives_any_crash() {
+    let mut layout = Layout::new();
+    let regs = SplitterRegs::allocate(&mut layout, "B");
+    sweep(
+        &layout,
+        || (0..3).map(|p| SplitterUser::new(p, regs, 2)).collect(),
+        2 * 10,
+        10_000,
+        "splitter ℓ=3",
+    );
+}
+
+#[test]
+fn split_survives_any_crash() {
+    let mut layout = Layout::new();
+    let shape = SplitShape::build(3, &mut layout);
+    sweep(
+        &layout,
+        || {
+            (0..3u64)
+                .map(|i| SplitUser::new(shape.clone(), i * 999 + 4, 2))
+                .collect()
+        },
+        2 * 2 * 10, // two sessions × two splitters × ≤10 steps
+        10_000,
+        "SPLIT k=3",
+    );
+}
+
+#[test]
+fn filter_survives_any_crash() {
+    // k = 2 with the fully-contended pid pair (shared first tree): the
+    // victim may crash while physically blocking the shared tree; the
+    // survivor must route to its private tree.
+    let params = llr_gf::FilterParams::new(2, 4, 1, 2).unwrap();
+    let mut layout = Layout::new();
+    let shape = FilterShape::build(params, &[1, 3], &mut layout).unwrap();
+    sweep(
+        &layout,
+        || {
+            [1u64, 3]
+                .iter()
+                .map(|&p| FilterUser::new(shape.clone(), p, 2))
+                .collect()
+        },
+        2 * 40,
+        50_000,
+        "FILTER k=2 contended",
+    );
+}
+
+#[test]
+fn filter_survives_crash_at_k3() {
+    let params = llr_gf::FilterParams::new(3, 25, 1, 5).unwrap();
+    let mut layout = Layout::new();
+    let shape = FilterShape::build(params, &[1, 6, 11], &mut layout).unwrap();
+    sweep(
+        &layout,
+        || {
+            [1u64, 6, 11]
+                .iter()
+                .map(|&p| FilterUser::new(shape.clone(), p, 1))
+                .collect()
+        },
+        100,
+        100_000,
+        "FILTER k=3 GF(5)",
+    );
+}
+
+#[test]
+fn ma_survives_any_crash() {
+    let mut layout = Layout::new();
+    let shape = MaShape::build(3, 6, &mut layout);
+    sweep(
+        &layout,
+        || {
+            [0u64, 2, 5]
+                .iter()
+                .map(|&p| MaUser::new(shape.clone(), p, 2))
+                .collect()
+        },
+        2 * 3 * 12,
+        100_000,
+        "MA k=3",
+    );
+}
+
+/// The tournament mutex is *blocking* by design: a crashed critical-
+/// section holder blocks its competitors forever. This test pins down
+/// that contrast (it is why FILTER needs the multi-tree structure).
+#[test]
+fn tournament_mutex_is_not_crash_tolerant() {
+    use llr_core::tournament::spec::TreeUser;
+    use llr_core::tournament::TreeShape;
+
+    let mut layout = Layout::new();
+    let shape = TreeShape::build(&mut layout, "T", 4, &[0, 3]);
+    let make = || -> Vec<TreeUser> {
+        [0u64, 3]
+            .iter()
+            .map(|&p| TreeUser::new(shape.clone(), p, 1))
+            .collect()
+    };
+    // Freeze process 0 right after it wins the root (enter 3 + check at
+    // both levels of a 2-level tree = 8 steps + 1 idle step): survivor
+    // spins forever.
+    let stuck = (0..=16).any(|stall| {
+        survivors_finish(&layout, make(), 0, stall, 5_000).is_err()
+    });
+    assert!(
+        stuck,
+        "a blocking mutex must be blockable by a crashed holder"
+    );
+}

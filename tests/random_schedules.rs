@@ -1,0 +1,121 @@
+//! Property-based testing: randomized schedules over the protocols'
+//! model-checkable specifications. Exhaustive checking covers tiny
+//! configurations completely; these proptests sample much larger ones.
+
+use llr_core::filter::spec as filter_spec;
+use llr_core::ma::spec as ma_spec;
+use llr_core::split::spec as split_spec;
+use llr_core::split::SplitShape;
+use llr_core::splitter::spec as splitter_spec;
+use llr_core::splitter::SplitterRegs;
+use llr_core::tournament::spec as tree_spec;
+use llr_core::tournament::TreeShape;
+use llr_gf::FilterParams;
+use llr_mc::ModelChecker;
+use llr_mem::Layout;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Splitter output-set invariant under random schedules with 3–5
+    /// processes and arbitrary initial advice registers.
+    #[test]
+    fn splitter_random_walks(
+        ell in 3usize..=5,
+        sessions in 1u8..=3,
+        init_a1 in 0u64..=2,
+        init_a2 in prop::sample::select(vec![0u64, 2]),
+        seed in any::<u64>(),
+    ) {
+        let mut layout = Layout::new();
+        let regs = SplitterRegs::allocate(&mut layout, "B");
+        layout.set_initial(regs.a1, init_a1);
+        layout.set_initial(regs.a2, init_a2);
+        let machines: Vec<_> = (0..ell as u64)
+            .map(|p| splitter_spec::SplitterUser::new(p, regs, sessions))
+            .collect();
+        let mc = ModelChecker::new(layout, machines);
+        mc.random_walks(splitter_spec::output_set_invariant, 40, 100_000, seed)
+            .map_err(|v| TestCaseError::fail(format!("{v}")))?;
+    }
+
+    /// SPLIT name uniqueness under random schedules at larger k than the
+    /// exhaustive tests can afford.
+    #[test]
+    fn split_random_walks(
+        k in 3usize..=5,
+        seed in any::<u64>(),
+    ) {
+        let mut layout = Layout::new();
+        let shape = SplitShape::build(k, &mut layout);
+        let machines: Vec<_> = (0..k as u64)
+            .map(|i| split_spec::SplitUser::new(shape.clone(), i * 999_983 + 1, 2))
+            .collect();
+        let mc = ModelChecker::new(layout, machines);
+        mc.random_walks(split_spec::unique_names_invariant, 25, 200_000, seed)
+            .map_err(|v| TestCaseError::fail(format!("{v}")))?;
+    }
+
+    /// Tournament-tree root exclusion with up to 6 processes in a 16-leaf
+    /// tree.
+    #[test]
+    fn tournament_random_walks(
+        mask in 1u16..((1u16 << 8) - 1),
+        seed in any::<u64>(),
+    ) {
+        let participants: Vec<u64> =
+            (0..8u64).filter(|&p| mask & (1 << p) != 0).collect();
+        prop_assume!(participants.len() >= 2);
+        let mut layout = Layout::new();
+        let shape = TreeShape::build(&mut layout, "T", 16, &participants);
+        let machines: Vec<_> = participants
+            .iter()
+            .map(|&p| tree_spec::TreeUser::new(shape.clone(), p, 2))
+            .collect();
+        let mc = ModelChecker::new(layout, machines);
+        mc.random_walks(tree_spec::root_exclusion, 25, 200_000, seed)
+            .map_err(|v| TestCaseError::fail(format!("{v}")))?;
+    }
+
+    /// FILTER uniqueness + block exclusion with 3 processes over GF(5).
+    #[test]
+    fn filter_random_walks(
+        pids in prop::sample::subsequence((0u64..24).collect::<Vec<_>>(), 3),
+        seed in any::<u64>(),
+    ) {
+        // k = 3, d = 1, z = 5: S ≤ 25, N_p of size 4, D = 20.
+        let params = FilterParams::new(3, 25, 1, 5).unwrap();
+        let mut layout = Layout::new();
+        let shape =
+            llr_core::filter::FilterShape::build(params, &pids, &mut layout).unwrap();
+        let machines: Vec<_> = pids
+            .iter()
+            .map(|&p| filter_spec::FilterUser::new(shape.clone(), p, 2))
+            .collect();
+        let mc = ModelChecker::new(layout, machines);
+        let inv = |w: &llr_mc::World<'_, filter_spec::FilterUser>| {
+            filter_spec::unique_names_invariant(w)?;
+            filter_spec::block_exclusion_invariant(w)
+        };
+        mc.random_walks(inv, 20, 400_000, seed)
+            .map_err(|v| TestCaseError::fail(format!("{v}")))?;
+    }
+
+    /// MA grid uniqueness with 3 processes and random pids.
+    #[test]
+    fn ma_random_walks(
+        pids in prop::sample::subsequence((0u64..8).collect::<Vec<_>>(), 3),
+        seed in any::<u64>(),
+    ) {
+        let mut layout = Layout::new();
+        let shape = llr_core::ma::MaShape::build(3, 8, &mut layout);
+        let machines: Vec<_> = pids
+            .iter()
+            .map(|&p| ma_spec::MaUser::new(shape.clone(), p, 2))
+            .collect();
+        let mc = ModelChecker::new(layout, machines);
+        mc.random_walks(ma_spec::unique_names_invariant, 25, 200_000, seed)
+            .map_err(|v| TestCaseError::fail(format!("{v}")))?;
+    }
+}
