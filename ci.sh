@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Per-PR gate. Everything runs offline — the workspace has no
+# third-party dependencies, so `--offline` must always succeed.
+#
+#   1. tier-1: release build + full test suite
+#   2. lint: clippy, warnings are errors
+#   3. fast E2 subset: the engine-equivalence tests re-check the
+#      mid-size rows of results/e2_modelcheck.csv under the sequential
+#      DFS and the parallel BFS engine (1/2/4 workers, exact and hashed
+#      dedup), pinning the counts byte-for-byte. This is the checker
+#      hot path; run it in release so it stays fast.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== tier-1: build (release, offline) =="
+cargo build --release --offline
+
+echo "== tier-1: tests =="
+cargo test -q --offline
+
+echo "== clippy (-D warnings) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== fast E2 subset (engine equivalence, release) =="
+cargo test -q --offline --release --test engine_equivalence
+
+echo "ci.sh: all green"

@@ -1,11 +1,14 @@
-//! Criterion wall-clock benchmarks: acquire+release latency per protocol,
-//! solo and under full-`k` thread contention.
+//! Wall-clock benchmarks: acquire+release latency per protocol, solo and
+//! under full-`k` thread contention.
 //!
 //! These complement the shared-access counts of the experiment binaries
 //! (`cargo run -p llr-bench --release`): access counts are the paper's
 //! complexity measure; these are what a deployment would feel.
+//!
+//! The workspace builds fully offline, so this is a `harness = false`
+//! binary with its own small median-of-samples timer instead of criterion.
+//! Run with: `cargo bench -p llr-bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use llr_core::chain::Chain;
 use llr_core::filter::Filter;
 use llr_core::ma::MaGrid;
@@ -16,6 +19,25 @@ use llr_gf::FilterParams;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
+/// Median-of-samples nanoseconds per op for `f`, which performs `batch`
+/// ops per call. One warmup call is discarded.
+fn time_ns_per_op(batch: u64, samples: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warmup
+    let mut per_op: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos() as f64 / batch as f64
+        })
+        .collect();
+    per_op.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    per_op[per_op.len() / 2]
+}
+
+fn report(group: &str, name: &str, ns: f64) {
+    println!("{group:<28} {name:<24} {:>12.1} ns/op", ns);
+}
+
 fn solo_cycle<R: Renaming>(rn: &R, pid: u64) {
     let mut h = rn.handle(pid);
     std::hint::black_box(h.acquire());
@@ -25,10 +47,10 @@ fn solo_cycle<R: Renaming>(rn: &R, pid: u64) {
 /// Wall-clock for `ops` cycles spread over one contending thread per pid.
 fn contended_ops<R: Renaming>(rn: &R, pids: &[u64], ops_per_thread: u64) -> Duration {
     let start = Instant::now();
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for &pid in pids {
             let rn = &rn;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut h = rn.handle(pid);
                 for _ in 0..ops_per_thread {
                     std::hint::black_box(h.acquire());
@@ -36,51 +58,63 @@ fn contended_ops<R: Renaming>(rn: &R, pids: &[u64], ops_per_thread: u64) -> Dura
                 }
             });
         }
-    })
-    .unwrap();
+    });
     start.elapsed()
 }
 
-fn bench_solo(c: &mut Criterion) {
-    let mut g = c.benchmark_group("solo_acquire_release");
-    g.measurement_time(Duration::from_secs(2)).sample_size(30);
+const SOLO_BATCH: u64 = 2_000;
+const SOLO_SAMPLES: usize = 15;
+
+fn bench_solo() {
     for k in [2usize, 4, 8] {
         let split = Split::new(k);
-        g.bench_with_input(BenchmarkId::new("split", k), &k, |b, _| {
-            b.iter(|| solo_cycle(&split, 123_456_789))
+        let ns = time_ns_per_op(SOLO_BATCH, SOLO_SAMPLES, || {
+            for _ in 0..SOLO_BATCH {
+                solo_cycle(&split, 123_456_789);
+            }
         });
+        report("solo_acquire_release", &format!("split/{k}"), ns);
 
         let params = FilterParams::two_k_four(k).unwrap();
         let pids: Vec<u64> = (0..k as u64).map(|i| i * 11 + 1).collect();
         let filter = Filter::new(params, &pids).unwrap();
-        g.bench_with_input(BenchmarkId::new("filter_2k4", k), &k, |b, _| {
-            b.iter(|| solo_cycle(&filter, pids[0]))
+        let ns = time_ns_per_op(SOLO_BATCH, SOLO_SAMPLES, || {
+            for _ in 0..SOLO_BATCH {
+                solo_cycle(&filter, pids[0]);
+            }
         });
+        report("solo_acquire_release", &format!("filter_2k4/{k}"), ns);
 
         let ma = MaGrid::new(k, 1024);
-        g.bench_with_input(BenchmarkId::new("ma_s1024", k), &k, |b, _| {
-            b.iter(|| solo_cycle(&ma, 512))
+        let ns = time_ns_per_op(SOLO_BATCH, SOLO_SAMPLES, || {
+            for _ in 0..SOLO_BATCH {
+                solo_cycle(&ma, 512);
+            }
         });
+        report("solo_acquire_release", &format!("ma_s1024/{k}"), ns);
 
         if k <= 4 {
             let chain = Chain::theorem11(k).unwrap();
-            g.bench_with_input(BenchmarkId::new("chain_t11", k), &k, |b, _| {
-                b.iter(|| solo_cycle(&chain, u64::MAX / 5))
+            let ns = time_ns_per_op(SOLO_BATCH, SOLO_SAMPLES, || {
+                for _ in 0..SOLO_BATCH {
+                    solo_cycle(&chain, u64::MAX / 5);
+                }
             });
+            report("solo_acquire_release", &format!("chain_t11/{k}"), ns);
         }
     }
-    g.finish();
 }
 
-fn bench_contended(c: &mut Criterion) {
-    let mut g = c.benchmark_group("contended_throughput");
-    g.measurement_time(Duration::from_secs(3)).sample_size(10);
+fn bench_contended() {
+    const OPS: u64 = 3_000;
     for k in [2usize, 4, 8] {
         let split = Split::new(k);
         let split_pids: Vec<u64> = (0..k as u64).map(|i| i * 99_991 + 7).collect();
-        g.bench_with_input(BenchmarkId::new("split", k), &k, |b, _| {
-            b.iter_custom(|iters| contended_ops(&split, &split_pids, iters.max(1)))
+        let total = k as u64 * OPS;
+        let ns = time_ns_per_op(total, 7, || {
+            std::hint::black_box(contended_ops(&split, &split_pids, OPS));
         });
+        report("contended_throughput", &format!("split/{k}"), ns);
 
         let params = FilterParams::two_k_four(k).unwrap();
         let s = params.source_size();
@@ -88,85 +122,89 @@ fn bench_contended(c: &mut Criterion) {
             .map(|i| (i * (s / (k as u64 + 1)) + 1) % s)
             .collect();
         let filter = Filter::new(params, &pids).unwrap();
-        g.bench_with_input(BenchmarkId::new("filter_2k4", k), &k, |b, _| {
-            b.iter_custom(|iters| contended_ops(&filter, &pids, iters.max(1)))
+        let ns = time_ns_per_op(total, 7, || {
+            std::hint::black_box(contended_ops(&filter, &pids, OPS));
         });
+        report("contended_throughput", &format!("filter_2k4/{k}"), ns);
     }
-    g.finish();
 }
 
-fn bench_vs_source_space(c: &mut Criterion) {
+fn bench_vs_source_space() {
     // The headline figure in wall-clock form: per-op latency vs S.
-    let mut g = c.benchmark_group("vs_source_space_k3");
-    g.measurement_time(Duration::from_secs(2)).sample_size(20);
     for exp in [8u32, 12, 16] {
         let s = 1u64 << exp;
         let ma = MaGrid::new(3, s);
-        g.bench_with_input(BenchmarkId::new("ma", s), &s, |b, &s| {
-            b.iter(|| solo_cycle(&ma, s / 2))
+        let ns = time_ns_per_op(SOLO_BATCH, SOLO_SAMPLES, || {
+            for _ in 0..SOLO_BATCH {
+                solo_cycle(&ma, s / 2);
+            }
         });
+        report("vs_source_space_k3", &format!("ma/S=2^{exp}"), ns);
         let params = FilterParams::choose(3, s).unwrap();
         let filter = Filter::new(params, &[1, s / 2, s - 1]).unwrap();
-        g.bench_with_input(BenchmarkId::new("filter", s), &s, |b, &s| {
-            b.iter(|| solo_cycle(&filter, s / 2))
-        });
-        let split = Split::new(3);
-        g.bench_with_input(BenchmarkId::new("split", s), &s, |b, &s| {
-            b.iter(|| solo_cycle(&split, s / 2))
-        });
-    }
-    g.finish();
-}
-
-fn bench_onetime_vs_longlived(c: &mut Criterion) {
-    let mut g = c.benchmark_group("onetime_vs_longlived_k4");
-    g.measurement_time(Duration::from_secs(2)).sample_size(30);
-    // One-time names are consumed; re-create the grid outside the timed
-    // region every batch via iter_custom.
-    g.bench_function("onetime_grid", |b| {
-        b.iter_custom(|iters| {
-            let mut total = Duration::ZERO;
-            for i in 0..iters {
-                let grid = OneTimeGrid::new(4, 1 << 30);
-                let start = Instant::now();
-                std::hint::black_box(grid.get_name(i % (1 << 30)));
-                total += start.elapsed();
+        let ns = time_ns_per_op(SOLO_BATCH, SOLO_SAMPLES, || {
+            for _ in 0..SOLO_BATCH {
+                solo_cycle(&filter, s / 2);
             }
-            total
-        })
-    });
-    let split = Split::new(4);
-    g.bench_function("split_longlived", |b| b.iter(|| solo_cycle(&split, 9)));
-    g.finish();
+        });
+        report("vs_source_space_k3", &format!("filter/S=2^{exp}"), ns);
+        let split = Split::new(3);
+        let ns = time_ns_per_op(SOLO_BATCH, SOLO_SAMPLES, || {
+            for _ in 0..SOLO_BATCH {
+                solo_cycle(&split, s / 2);
+            }
+        });
+        report("vs_source_space_k3", &format!("split/S=2^{exp}"), ns);
+    }
 }
 
-fn bench_step_machine_overhead(c: &mut Criterion) {
+fn bench_onetime_vs_longlived() {
+    // One-time names are consumed; re-create the grid outside the timed
+    // region every iteration and time only get_name.
+    const ITERS: u64 = 300;
+    let grids: Vec<OneTimeGrid> = (0..=ITERS).map(|_| OneTimeGrid::new(4, 1 << 30)).collect();
+    let next = AtomicU64::new(0);
+    let ns = time_ns_per_op(1, ITERS as usize, || {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        std::hint::black_box(grids[i as usize].get_name(i % (1 << 30)));
+    });
+    report("onetime_vs_longlived_k4", "onetime_grid", ns);
+    let split = Split::new(4);
+    let ns = time_ns_per_op(SOLO_BATCH, SOLO_SAMPLES, || {
+        for _ in 0..SOLO_BATCH {
+            solo_cycle(&split, 9);
+        }
+    });
+    report("onetime_vs_longlived_k4", "split_longlived", ns);
+}
+
+fn bench_step_machine_overhead() {
     // Ablation: the protocols are written as step machines so the model
     // checker can run them; how much does that framing cost on the hot
     // path versus a direct implementation?
-    let mut g = c.benchmark_group("step_machine_overhead");
-    g.measurement_time(Duration::from_secs(2)).sample_size(30);
     for k in [4usize, 8] {
         let split = Split::new(k);
-        g.bench_with_input(BenchmarkId::new("step_machine", k), &k, |b, _| {
-            b.iter(|| solo_cycle(&split, 42))
+        let ns = time_ns_per_op(SOLO_BATCH, SOLO_SAMPLES, || {
+            for _ in 0..SOLO_BATCH {
+                solo_cycle(&split, 42);
+            }
         });
-        g.bench_with_input(BenchmarkId::new("native", k), &k, |b, _| {
-            b.iter(|| {
+        report("step_machine_overhead", &format!("step_machine/{k}"), ns);
+        let ns = time_ns_per_op(SOLO_BATCH, SOLO_SAMPLES, || {
+            for _ in 0..SOLO_BATCH {
                 let mut h = split.native_handle(42);
                 std::hint::black_box(h.acquire());
                 h.release();
-            })
+            }
         });
+        report("step_machine_overhead", &format!("native/{k}"), ns);
     }
-    g.finish();
 }
 
-fn bench_release_policy(c: &mut Criterion) {
+fn bench_release_policy() {
     // Ablation: FILTER's Figure-4 release policy vs eager loser release.
     use llr_core::filter::ReleasePolicy;
-    let mut g = c.benchmark_group("filter_release_policy_k4");
-    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+    const OPS: u64 = 3_000;
     let params = FilterParams::two_k_four(4).unwrap();
     let s = params.source_size();
     let pids: Vec<u64> = (0..4u64).map(|i| (i * (s / 5) + 1) % s).collect();
@@ -175,42 +213,44 @@ fn bench_release_policy(c: &mut Criterion) {
         ("eager_losers", ReleasePolicy::EagerLosers),
     ] {
         let filter = Filter::with_policy(params, &pids, policy).unwrap();
-        g.bench_function(label, |b| {
-            b.iter_custom(|iters| contended_ops(&filter, &pids, iters.max(1)))
+        let ns = time_ns_per_op(4 * OPS, 7, || {
+            std::hint::black_box(contended_ops(&filter, &pids, OPS));
         });
+        report("filter_release_policy_k4", label, ns);
     }
-    g.finish();
 }
 
-fn bench_substrate(c: &mut Criterion) {
+fn bench_substrate() {
     // Raw substrate costs, to put protocol numbers in context.
-    let mut g = c.benchmark_group("substrate");
-    g.measurement_time(Duration::from_secs(1)).sample_size(50);
     let mut layout = llr_mem::Layout::new();
     let x = layout.scalar("X", 0);
     let atomic = llr_mem::AtomicMemory::new(&layout);
-    g.bench_function("atomic_write_read", |b| {
-        b.iter(|| {
+    let ns = time_ns_per_op(SOLO_BATCH, 25, || {
+        for _ in 0..SOLO_BATCH {
             use llr_mem::Memory;
             atomic.write(x, 1);
-            std::hint::black_box(atomic.read(x))
-        })
+            std::hint::black_box(atomic.read(x));
+        }
     });
+    report("substrate", "atomic_write_read", ns);
     let counter = AtomicU64::new(0);
-    g.bench_function("bare_fetch_add", |b| {
-        b.iter(|| counter.fetch_add(1, Ordering::SeqCst))
+    let ns = time_ns_per_op(SOLO_BATCH, 25, || {
+        for _ in 0..SOLO_BATCH {
+            std::hint::black_box(counter.fetch_add(1, Ordering::SeqCst));
+        }
     });
-    g.finish();
+    report("substrate", "bare_fetch_add", ns);
 }
 
-criterion_group!(
-    benches,
-    bench_solo,
-    bench_contended,
-    bench_vs_source_space,
-    bench_onetime_vs_longlived,
-    bench_step_machine_overhead,
-    bench_release_policy,
-    bench_substrate
-);
-criterion_main!(benches);
+fn main() {
+    println!("{:-<70}", "");
+    println!("wall-clock benchmarks (median of samples; smaller is better)");
+    println!("{:-<70}", "");
+    bench_solo();
+    bench_contended();
+    bench_vs_source_space();
+    bench_onetime_vs_longlived();
+    bench_step_machine_overhead();
+    bench_release_policy();
+    bench_substrate();
+}

@@ -1,4 +1,10 @@
-//! Table formatting and CSV output shared by all experiments.
+//! Table formatting, CSV output, and the seeded PRNG shared by all
+//! experiments.
+
+/// The vendored SplitMix64 generator (canonical copy in `llr-mc`),
+/// re-exported so experiments have one obvious place to get seeded,
+/// reproducible randomness without an external `rand` dependency.
+pub use llr_mc::SplitMix64;
 
 use std::fmt::Display;
 use std::fs;

@@ -3,8 +3,19 @@
 //!
 //! This is the release-mode home of the checks too slow for the debug
 //! test suite; it regenerates the verification table of EXPERIMENTS.md.
+//!
+//! Every row records which engine explored it and how long it took
+//! (`wall_ms`, `states_per_sec`). The sequential DFS is the reference
+//! engine and covers the CI-sized rows; the parallel BFS engine (one
+//! worker per core) covers the rows that used to be infeasible, with
+//! 128-bit hashed dedup where the exact visited set would not fit in
+//! memory. The two largest seed rows run under **both** engines, so the
+//! parallel speedup is measurable straight from the CSV on a multicore
+//! host (engines agree exactly on states/transitions by construction —
+//! `tests/engine_equivalence.rs` pins that).
 
 use crate::common::{banner, Table};
+use llr_core::chain::spec as chain_spec;
 use llr_core::filter::spec as filter_spec;
 use llr_core::ma::spec as ma_spec;
 use llr_core::onetime::spec as onetime_spec;
@@ -13,219 +24,395 @@ use llr_core::split::spec as split_spec;
 use llr_core::splitter::spec as splitter_spec;
 use llr_core::tournament::spec as tree_spec;
 use llr_gf::FilterParams;
-use llr_mc::CheckStats;
+use llr_mc::{CheckError, CheckStats, ModelChecker, StepMachine, World};
+use std::time::{Duration, Instant};
+
+/// Which engine explores a row.
+#[derive(Clone, Copy, PartialEq)]
+enum Engine {
+    /// Sequential DFS with exact dedup (the reference engine).
+    Dfs,
+    /// Parallel BFS, one worker per core, exact dedup.
+    Bfs,
+    /// Parallel BFS, one worker per core, 128-bit hashed dedup.
+    BfsHashed,
+}
+
+impl Engine {
+    fn label(self) -> String {
+        let w = std::thread::available_parallelism().map_or(1, |n| n.get());
+        match self {
+            Engine::Dfs => "dfs".into(),
+            Engine::Bfs => format!("bfs:{w}w"),
+            Engine::BfsHashed => format!("bfs+hash:{w}w"),
+        }
+    }
+}
+
+/// State budget for the large parallel rows.
+const BIG: usize = 200_000_000;
+
+fn explore<M, F>(
+    mc: ModelChecker<M>,
+    invariant: F,
+    engine: Engine,
+) -> (Result<CheckStats, CheckError>, Duration)
+where
+    M: StepMachine + Send + Sync,
+    F: Fn(&World<'_, M>) -> Result<(), String>,
+{
+    let start = Instant::now();
+    let r = match engine {
+        Engine::Dfs => mc.max_states(BIG).check(invariant),
+        Engine::Bfs => mc.max_states(BIG).workers(0).check_parallel(invariant),
+        Engine::BfsHashed => mc
+            .max_states(BIG)
+            .workers(0)
+            .hashed_dedup(true)
+            .check_parallel(invariant),
+    };
+    (r, start.elapsed())
+}
+
+/// Sums [`splitter_spec::checker`] over every quiescent initial register
+/// assignment (the unit the splitter rows report).
+fn splitter_all_inits(
+    ell: usize,
+    sessions: u8,
+    engine: Engine,
+) -> (Result<CheckStats, CheckError>, Duration) {
+    let mut total = CheckStats::default();
+    let mut wall = Duration::ZERO;
+    for (init_last, init_a1, init_a2) in splitter_spec::all_inits(ell) {
+        let (r, w) = explore(
+            splitter_spec::checker(ell, sessions, init_last, init_a1, init_a2),
+            splitter_spec::output_set_invariant,
+            engine,
+        );
+        wall += w;
+        match r {
+            Ok(s) => {
+                total.states += s.states;
+                total.transitions += s.transitions;
+                total.max_depth = total.max_depth.max(s.max_depth);
+                total.terminal_states += s.terminal_states;
+            }
+            Err(e) => return (Err(e), wall),
+        }
+    }
+    (Ok(total), wall)
+}
 
 pub fn run() {
     banner("E2 — exhaustive interleaving verification (all schedules)");
     let mut t = Table::new(
         "e2_modelcheck",
-        &["subject", "invariant", "configuration", "states", "transitions", "verdict"],
+        &[
+            "subject",
+            "invariant",
+            "configuration",
+            "engine",
+            "states",
+            "transitions",
+            "wall_ms",
+            "states_per_sec",
+            "verdict",
+        ],
     );
-    let mut add = |subject: &str, invariant: &str, config: &str, r: Result<CheckStats, String>| {
-        match r {
-            Ok(s) => t.row(&[&subject, &invariant, &config, &s.states, &s.transitions, &"VERIFIED"]),
+    let mut add = |subject: &str,
+                   invariant: &str,
+                   config: &str,
+                   engine: Engine,
+                   (res, wall): (Result<CheckStats, CheckError>, Duration)| {
+        let wall_ms = format!("{:.1}", wall.as_secs_f64() * 1e3);
+        match res {
+            Ok(s) => {
+                let sps = format!("{:.0}", s.states_per_sec(wall));
+                t.row(&[
+                    &subject,
+                    &invariant,
+                    &config,
+                    &engine.label(),
+                    &s.states,
+                    &s.transitions,
+                    &wall_ms,
+                    &sps,
+                    &"VERIFIED",
+                ]);
+            }
             Err(e) => {
-                t.row(&[&subject, &invariant, &config, &"-", &"-", &"VIOLATED"]);
-                eprintln!("VIOLATION in {subject} ({config}):\n{e}");
+                let verdict = match &e {
+                    CheckError::Violation(_) => "VIOLATED",
+                    CheckError::StateLimit { .. } => "STATE-LIMIT",
+                };
+                t.row(&[
+                    &subject,
+                    &invariant,
+                    &config,
+                    &engine.label(),
+                    &"-",
+                    &"-",
+                    &wall_ms,
+                    &"-",
+                    &verdict,
+                ]);
+                eprintln!("{verdict} in {subject} ({config}):\n{e}");
             }
         }
     };
 
-    // Splitter (Figure 2 reconstruction) — Theorem 5.
-    for (ell, sessions) in [(2usize, 3u8), (3, 2)] {
+    // Splitter (Figure 2 reconstruction) — Theorem 5. The ℓ=3 row is one
+    // of the two largest in the table and runs under both engines.
+    add(
+        "splitter (Fig 2)",
+        "each output set ≤ ℓ-1",
+        "ℓ=2, 3 sessions, all 12 initial states",
+        Engine::Dfs,
+        splitter_all_inits(2, 3, Engine::Dfs),
+    );
+    for engine in [Engine::Dfs, Engine::Bfs] {
         add(
             "splitter (Fig 2)",
             "each output set ≤ ℓ-1",
-            &format!("ℓ={ell}, {sessions} sessions, all 12 initial states"),
-            splitter_spec::check_all_inits(ell, sessions)
-                .map_err(|v| v.to_string()),
+            "ℓ=3, 2 sessions, all 12 initial states",
+            engine,
+            splitter_all_inits(3, 2, engine),
         );
     }
+    add(
+        "splitter (Fig 2)",
+        "each output set ≤ ℓ-1",
+        "ℓ=3, 3 sessions, all 12 initial states",
+        Engine::BfsHashed,
+        splitter_all_inits(3, 3, Engine::BfsHashed),
+    );
 
     // Peterson–Fischer ME (Figure 3 reconstruction) — Lemma 6 substrate.
-    add(
-        "PF 2-proc ME (Fig 3)",
-        "mutual exclusion",
-        "2 procs, 5 sessions",
-        pf_spec::check_exclusion(5).map_err(|v| v.to_string()),
-    );
+    for sessions in [5u8, 8] {
+        add(
+            "PF 2-proc ME (Fig 3)",
+            "mutual exclusion",
+            &format!("2 procs, {sessions} sessions"),
+            Engine::Dfs,
+            explore(pf_spec::checker(sessions), pf_spec::mutual_exclusion, Engine::Dfs),
+        );
+    }
     add(
         "PF 2-proc ME (Fig 3)",
         "no deadlock state",
         "2 procs, 5 sessions",
-        pf_spec::check_no_deadlock(5).map_err(|v| v.to_string()),
+        Engine::Dfs,
+        explore(pf_spec::checker(5), pf_spec::no_deadlock_invariant, Engine::Dfs),
     );
 
-    // Tournament trees — Lemma 6.
-    for (s, parts, sessions) in [
-        (8u64, vec![2u64, 3], 3u8),
-        (8, vec![0, 7], 3),
-        (4, vec![0, 1, 3], 2),
-        (4, vec![0, 1, 2, 3], 2),
+    // Tournament trees — Lemma 6. The 4-contender S=8 row is new: all
+    // eight leaf pairs contended through three levels.
+    for (s, parts, sessions, engine) in [
+        (8u64, vec![2u64, 3], 3u8, Engine::Dfs),
+        (8, vec![0, 7], 3, Engine::Dfs),
+        (4, vec![0, 1, 3], 2, Engine::Dfs),
+        (4, vec![0, 1, 2, 3], 2, Engine::Dfs),
+        (8, vec![0, 3, 5, 7], 2, Engine::BfsHashed),
     ] {
         add(
             "tournament tree",
             "root CS exclusion",
             &format!("S={s}, pids={parts:?}, {sessions} sessions"),
-            tree_spec::check_tree(s, &parts, sessions).map_err(|v| v.to_string()),
+            engine,
+            explore(tree_spec::checker(s, &parts, sessions), tree_spec::root_exclusion, engine),
         );
     }
 
-    // SPLIT (Figure 1) — name uniqueness.
-    for (k, procs, sessions) in [(2usize, 2usize, 3u8), (3, 2, 2), (3, 3, 1)] {
+    // SPLIT (Figure 1) — name uniqueness. k=4 with three contenders is
+    // new territory (a depth-3 splitter tree under contention).
+    for (k, procs, sessions, engine) in [
+        (2usize, 2usize, 3u8, Engine::Dfs),
+        (3, 2, 2, Engine::Dfs),
+        (3, 3, 1, Engine::Dfs),
+        (4, 3, 1, Engine::BfsHashed),
+    ] {
         add(
             "SPLIT (Fig 1)",
             "held names unique",
             &format!("k={k}, {procs} procs, {sessions} sessions"),
-            split_spec::check_split(k, procs, sessions).map_err(|v| v.to_string()),
+            engine,
+            explore(
+                split_spec::checker(k, procs, sessions),
+                split_spec::unique_names_invariant,
+                engine,
+            ),
         );
     }
 
-    // FILTER (Figure 4) — uniqueness and global block exclusion.
+    // FILTER (Figure 4) — uniqueness and global block exclusion. The
+    // 2-session GF(5) row is new: every contender re-enters once.
     let tiny = FilterParams::new(2, 4, 1, 2).unwrap();
     for pair in [[1u64, 2], [1, 3], [0, 3], [0, 2]] {
         add(
             "FILTER (Fig 4)",
             "unique names + ME blocks",
             &format!("k=2, S=4, d=1, z=2, pids={pair:?}, 2 sessions"),
-            filter_spec::check_filter(tiny, &pair, 2).map_err(|v| v.to_string()),
+            Engine::Dfs,
+            explore(filter_spec::checker(tiny, &pair, 2), filter_spec::combined_invariant, Engine::Dfs),
         );
     }
     let gf5 = FilterParams::new(3, 25, 1, 5).unwrap();
-    add(
-        "FILTER (Fig 4)",
-        "unique names + ME blocks",
-        "k=3, S=25, d=1, z=5, pids=[1,6,11], 1 session",
-        filter_spec::check_filter(gf5, &[1, 6, 11], 1).map_err(|v| v.to_string()),
-    );
+    for (sessions, engine) in [(1u8, Engine::Dfs), (2, Engine::BfsHashed)] {
+        add(
+            "FILTER (Fig 4)",
+            "unique names + ME blocks",
+            &format!("k=3, S=25, d=1, z=5, pids=[1,6,11], {sessions} sessions"),
+            engine,
+            explore(
+                filter_spec::checker(gf5, &[1, 6, 11], sessions),
+                filter_spec::combined_invariant,
+                engine,
+            ),
+        );
+    }
 
-    // MA grid — uniqueness.
-    for (k, s, pids, sessions) in [
-        (2usize, 3u64, vec![0u64, 2], 3u8),
-        (3, 3, vec![0, 1, 2], 1),
-        (2, 4, vec![1, 3], 3),
+    // MA grid — uniqueness. Three contenders doing two full sessions each
+    // is new.
+    for (k, s, pids, sessions, engine) in [
+        (2usize, 3u64, vec![0u64, 2], 3u8, Engine::Dfs),
+        (3, 3, vec![0, 1, 2], 1, Engine::Dfs),
+        (2, 4, vec![1, 3], 3, Engine::Dfs),
+        (3, 3, vec![0, 1, 2], 2, Engine::BfsHashed),
     ] {
         add(
             "MA grid (baseline)",
             "held names unique",
             &format!("k={k}, S={s}, pids={pids:?}, {sessions} sessions"),
-            ma_spec::check_ma(k, s, &pids, sessions).map_err(|v| v.to_string()),
+            engine,
+            explore(ma_spec::checker(k, s, &pids, sessions), ma_spec::unique_names_invariant, engine),
         );
     }
 
-    // Chain composition (SPLIT → MA in one register file).
-    add(
-        "chain SPLIT→MA",
-        "end-to-end names unique",
-        "k=2, 2 procs, 2 sessions, backwards release",
-        llr_core::chain::spec::check_mini_chain(2, &[3, 9], 2).map_err(|v| v.to_string()),
-    );
+    // Chain composition (SPLIT → MA in one register file). Three sessions
+    // is new.
+    for (sessions, engine) in [(2u8, Engine::Dfs), (3, Engine::BfsHashed)] {
+        add(
+            "chain SPLIT→MA",
+            "end-to-end names unique",
+            &format!("k=2, 2 procs, {sessions} sessions, backwards release"),
+            engine,
+            explore(
+                chain_spec::checker(2, &[3, 9], sessions),
+                chain_spec::unique_names_invariant,
+                engine,
+            ),
+        );
+    }
 
-    // One-time grid — one-shot uniqueness.
-    for (k, pids) in [(2usize, vec![0u64, 1]), (3, vec![0, 1, 2]), (4, vec![0, 1, 2, 3])] {
+    // One-time grid — one-shot uniqueness. The k=4 row is the other
+    // "largest seed row" and runs under both engines.
+    for (k, pids) in [(2usize, vec![0u64, 1]), (3, vec![0, 1, 2])] {
         add(
             "one-time grid",
             "acquired names unique",
             &format!("k={k}, pids={pids:?}"),
-            onetime_spec::check_onetime(k, &pids).map_err(|v| v.to_string()),
+            Engine::Dfs,
+            explore(onetime_spec::checker(k, &pids), onetime_spec::unique_names_invariant, Engine::Dfs),
         );
     }
+    for engine in [Engine::Dfs, Engine::Bfs] {
+        add(
+            "one-time grid",
+            "acquired names unique",
+            "k=4, pids=[0, 1, 2, 3]",
+            engine,
+            explore(
+                onetime_spec::checker(4, &[0, 1, 2, 3]),
+                onetime_spec::unique_names_invariant,
+                engine,
+            ),
+        );
+    }
+    // A wider grid under the same four contenders: the unreached extra
+    // column adds no reachable states (counts match k=4 exactly), which
+    // pins down that the state space is driven by contention, not k.
+    add(
+        "one-time grid",
+        "acquired names unique",
+        "k=5, pids=[0, 1, 2, 4]",
+        Engine::BfsHashed,
+        explore(
+            onetime_spec::checker(5, &[0, 1, 2, 4]),
+            onetime_spec::unique_names_invariant,
+            Engine::BfsHashed,
+        ),
+    );
 
     t.finish();
 
     // Liveness: from every reachable state, some schedule finishes the
     // workload (deadlock-freedom for the blocking ME; a wait-freedom
-    // consequence for the protocols).
+    // consequence for the protocols). Runs on the parallel engine with
+    // edge recording.
     let mut lt = Table::new(
         "e2_liveness",
-        &["subject", "configuration", "states", "edges", "verdict"],
+        &["subject", "configuration", "states", "edges", "wall_ms", "verdict"],
     );
     let mut add_live = |subject: &str,
                         config: &str,
-                        r: Result<llr_mc::LivenessStats, llr_mc::CheckError>| match r {
-        Ok(s) => lt.row(&[&subject, &config, &s.states, &s.edges, &"ALWAYS-TERMINABLE"]),
-        Err(e) => {
-            lt.row(&[&subject, &config, &"-", &"-", &"TRAP FOUND"]);
-            eprintln!("TRAP in {subject} ({config}):\n{e}");
+                        r: Result<llr_mc::LivenessStats, llr_mc::CheckError>,
+                        wall: Duration| {
+        let wall_ms = format!("{:.1}", wall.as_secs_f64() * 1e3);
+        match r {
+            Ok(s) => lt.row(&[&subject, &config, &s.states, &s.edges, &wall_ms, &"ALWAYS-TERMINABLE"]),
+            Err(e) => {
+                lt.row(&[&subject, &config, &"-", &"-", &wall_ms, &"TRAP FOUND"]);
+                eprintln!("TRAP in {subject} ({config}):\n{e}");
+            }
         }
     };
+    let (r, w) = {
+        let start = Instant::now();
+        let r = pf_spec::checker(4).workers(0).check_always_terminable();
+        (r, start.elapsed())
+    };
+    add_live("PF 2-proc ME", "2 procs, 4 sessions", r, w);
 
-    {
-        use llr_mc::ModelChecker;
-        use llr_mem::Layout;
+    let (r, w) = {
+        let start = Instant::now();
+        let r = tree_spec::checker(4, &[0, 1, 3], 2)
+            .workers(0)
+            .check_always_terminable();
+        (r, start.elapsed())
+    };
+    add_live("tournament tree", "S=4, 3 procs, 2 sessions", r, w);
 
-        let mut layout = Layout::new();
-        let regs = llr_core::pf::MeRegs::allocate(&mut layout, "ME");
-        let machines = vec![
-            pf_spec::MeUser::new(regs, 0, 4),
-            pf_spec::MeUser::new(regs, 1, 4),
-        ];
-        add_live(
-            "PF 2-proc ME",
-            "2 procs, 4 sessions",
-            ModelChecker::new(layout, machines).check_always_terminable(),
-        );
+    let (r, w) = {
+        let start = Instant::now();
+        let r = split_spec::checker(3, 2, 2).workers(0).check_always_terminable();
+        (r, start.elapsed())
+    };
+    add_live("SPLIT", "k=3, 2 procs, 2 sessions", r, w);
 
-        let mut layout = Layout::new();
-        let shape =
-            llr_core::tournament::TreeShape::build(&mut layout, "T", 4, &[0, 1, 3]);
-        let machines: Vec<_> = [0u64, 1, 3]
-            .iter()
-            .map(|&p| tree_spec::TreeUser::new(shape.clone(), p, 2))
-            .collect();
-        add_live(
-            "tournament tree",
-            "S=4, 3 procs, 2 sessions",
-            ModelChecker::new(layout, machines).check_always_terminable(),
-        );
+    let (r, w) = {
+        let start = Instant::now();
+        let r = filter_spec::checker(tiny, &[1, 3], 2)
+            .workers(0)
+            .check_always_terminable();
+        (r, start.elapsed())
+    };
+    add_live("FILTER", "k=2, contended first tree, 2 sessions", r, w);
 
-        let mut layout = Layout::new();
-        let shape = llr_core::split::SplitShape::build(3, &mut layout);
-        let machines: Vec<_> = (0..2u64)
-            .map(|i| split_spec::SplitUser::new(shape.clone(), i * 71 + 5, 2))
-            .collect();
-        add_live(
-            "SPLIT",
-            "k=3, 2 procs, 2 sessions",
-            ModelChecker::new(layout, machines).check_always_terminable(),
-        );
+    let (r, w) = {
+        let start = Instant::now();
+        let r = ma_spec::checker(3, 3, &[0, 1, 2], 1)
+            .workers(0)
+            .check_always_terminable();
+        (r, start.elapsed())
+    };
+    add_live("MA grid", "k=3, 3 procs, 1 session", r, w);
 
-        let mut layout = Layout::new();
-        let shape =
-            llr_core::filter::FilterShape::build(tiny, &[1, 3], &mut layout).unwrap();
-        let machines: Vec<_> = [1u64, 3]
-            .iter()
-            .map(|&p| filter_spec::FilterUser::new(shape.clone(), p, 2))
-            .collect();
-        add_live(
-            "FILTER",
-            "k=2, contended first tree, 2 sessions",
-            ModelChecker::new(layout, machines).check_always_terminable(),
-        );
+    let (r, w) = {
+        let start = Instant::now();
+        let r = chain_spec::checker(2, &[3, 9], 2).workers(0).check_always_terminable();
+        (r, start.elapsed())
+    };
+    add_live("chain SPLIT→MA", "k=2, 2 procs, 2 sessions", r, w);
 
-        let mut layout = Layout::new();
-        let shape = llr_core::ma::MaShape::build(3, 3, &mut layout);
-        let machines: Vec<_> = [0u64, 1, 2]
-            .iter()
-            .map(|&p| ma_spec::MaUser::new(shape.clone(), p, 1))
-            .collect();
-        add_live(
-            "MA grid",
-            "k=3, 3 procs, 1 session",
-            ModelChecker::new(layout, machines).check_always_terminable(),
-        );
-
-        let mut layout = Layout::new();
-        let shape = llr_core::chain::spec::MiniChainShape::build(2, &mut layout);
-        let machines: Vec<_> = [3u64, 9]
-            .iter()
-            .map(|&p| llr_core::chain::spec::ChainUser::new(shape.clone(), p, 2))
-            .collect();
-        add_live(
-            "chain SPLIT→MA",
-            "k=2, 2 procs, 2 sessions",
-            ModelChecker::new(layout, machines).check_always_terminable(),
-        );
-    }
     lt.finish();
 }

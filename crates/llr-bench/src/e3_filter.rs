@@ -15,12 +15,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 fn lemma9_probe(filter: &Filter, pids: &[u64], ops: u64) -> (u64, Option<u64>) {
     let max_rounds = AtomicU64::new(0);
     let min_adv = AtomicU64::new(u64::MAX);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for &pid in pids {
             let filter = &filter;
             let max_rounds = &max_rounds;
             let min_adv = &min_adv;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut h = filter.handle(pid);
                 for _ in 0..ops {
                     h.acquire();
@@ -33,8 +33,7 @@ fn lemma9_probe(filter: &Filter, pids: &[u64], ops: u64) -> (u64, Option<u64>) {
                 }
             });
         }
-    })
-    .expect("probe worker panicked");
+    });
     let min = min_adv.load(Ordering::Relaxed);
     (
         max_rounds.load(Ordering::Relaxed),

@@ -5,8 +5,7 @@
 
 use crate::common::{banner, Table};
 use llr_gf::FilterParams;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::common::SplitMix64;
 
 pub fn run() {
     banner("E7 — name-set hashing: ‖N_p ∩ N_q‖ ≤ d and the covering margin");
@@ -17,7 +16,7 @@ pub fn run() {
             "adversary sets", "min free names", "guarantee d(k-1)",
         ],
     );
-    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    let mut rng = SplitMix64::new(0xC0FFEE);
     for k in [3usize, 4, 6, 8, 12] {
         let params = FilterParams::two_k_four(k).unwrap();
         let sets = params.name_sets();
@@ -28,8 +27,8 @@ pub fn run() {
         let mut max_common = 0usize;
         let pairs = 4_000;
         for _ in 0..pairs {
-            let p = rng.gen_range(0..s);
-            let q = rng.gen_range(0..s);
+            let p = rng.next_below(s);
+            let q = rng.next_below(s);
             if p == q {
                 continue;
             }
@@ -43,10 +42,10 @@ pub fn run() {
         let mut min_free = usize::MAX;
         let trials = 1_000;
         for _ in 0..trials {
-            let p = rng.gen_range(0..s);
+            let p = rng.next_below(s);
             let mut others = Vec::new();
             while others.len() < k - 1 {
-                let q = rng.gen_range(0..s);
+                let q = rng.next_below(s);
                 if q != p && !others.contains(&q) {
                     others.push(q);
                 }

@@ -627,6 +627,18 @@ pub mod spec {
         Ok(())
     }
 
+    /// Builds the model checker for a SPLIT → MA mini-chain (shared by
+    /// the exhaustive checks and the E2 driver).
+    pub fn checker(k: usize, pids: &[Pid], sessions: u8) -> ModelChecker<ChainUser> {
+        let mut layout = Layout::new();
+        let shape = MiniChainShape::build(k, &mut layout);
+        let machines: Vec<ChainUser> = pids
+            .iter()
+            .map(|&p| ChainUser::new(shape.clone(), p, sessions))
+            .collect();
+        ModelChecker::new(layout, machines)
+    }
+
     /// Exhaustively checks end-to-end uniqueness of a SPLIT → MA chain.
     ///
     /// # Errors
@@ -637,13 +649,7 @@ pub mod spec {
         pids: &[Pid],
         sessions: u8,
     ) -> Result<CheckStats, Box<Violation>> {
-        let mut layout = Layout::new();
-        let shape = MiniChainShape::build(k, &mut layout);
-        let machines: Vec<ChainUser> = pids
-            .iter()
-            .map(|&p| ChainUser::new(shape.clone(), p, sessions))
-            .collect();
-        match ModelChecker::new(layout, machines).check(unique_names_invariant) {
+        match checker(k, pids, sessions).check(unique_names_invariant) {
             Ok(stats) => Ok(stats),
             Err(llr_mc::CheckError::Violation(v)) => Err(v),
             Err(e @ llr_mc::CheckError::StateLimit { .. }) => {

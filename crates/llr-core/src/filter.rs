@@ -943,6 +943,33 @@ pub mod spec {
         sessions: u8,
         policy: ReleasePolicy,
     ) -> Result<CheckStats, Box<Violation>> {
+        match checker_with_policy(params, participants, sessions, policy)
+            .check(combined_invariant)
+        {
+            Ok(stats) => Ok(stats),
+            Err(llr_mc::CheckError::Violation(v)) => Err(v),
+            Err(e @ llr_mc::CheckError::StateLimit { .. }) => {
+                panic!("FILTER exploration exceeded the state budget: {e}")
+            }
+        }
+    }
+
+    /// Both FILTER invariants in one closure-compatible function:
+    /// name uniqueness, then global block exclusion.
+    pub fn combined_invariant(w: &World<'_, FilterUser>) -> Result<(), String> {
+        unique_names_invariant(w)?;
+        block_exclusion_invariant(w)
+    }
+
+    /// Builds the model checker for the given instance under an explicit
+    /// release policy (shared by the exhaustive checks and the E2
+    /// driver).
+    pub fn checker_with_policy(
+        params: FilterParams,
+        participants: &[Pid],
+        sessions: u8,
+        policy: ReleasePolicy,
+    ) -> ModelChecker<FilterUser> {
         let mut layout = Layout::new();
         let shape = FilterShape::build(params, participants, &mut layout)
             .expect("valid participants");
@@ -950,17 +977,17 @@ pub mod spec {
             .iter()
             .map(|&p| FilterUser::with_policy(shape.clone(), p, sessions, policy))
             .collect();
-        let check = |w: &World<'_, FilterUser>| {
-            unique_names_invariant(w)?;
-            block_exclusion_invariant(w)
-        };
-        match ModelChecker::new(layout, machines).check(check) {
-            Ok(stats) => Ok(stats),
-            Err(llr_mc::CheckError::Violation(v)) => Err(v),
-            Err(e @ llr_mc::CheckError::StateLimit { .. }) => {
-                panic!("FILTER exploration exceeded the state budget: {e}")
-            }
-        }
+        ModelChecker::new(layout, machines)
+    }
+
+    /// Builds the model checker for the given instance under the paper's
+    /// Figure-4 release policy.
+    pub fn checker(
+        params: FilterParams,
+        participants: &[Pid],
+        sessions: u8,
+    ) -> ModelChecker<FilterUser> {
+        checker_with_policy(params, participants, sessions, ReleasePolicy::default())
     }
 
     /// Exhaustively checks both invariants for the given instance.
@@ -973,18 +1000,7 @@ pub mod spec {
         participants: &[Pid],
         sessions: u8,
     ) -> Result<CheckStats, Box<Violation>> {
-        let mut layout = Layout::new();
-        let shape = FilterShape::build(params, participants, &mut layout)
-            .expect("valid participants");
-        let machines: Vec<FilterUser> = participants
-            .iter()
-            .map(|&p| FilterUser::new(shape.clone(), p, sessions))
-            .collect();
-        let check = |w: &World<'_, FilterUser>| {
-            unique_names_invariant(w)?;
-            block_exclusion_invariant(w)
-        };
-        match ModelChecker::new(layout, machines).check(check) {
+        match checker(params, participants, sessions).check(combined_invariant) {
             Ok(stats) => Ok(stats),
             Err(llr_mc::CheckError::Violation(v)) => Err(v),
             Err(e @ llr_mc::CheckError::StateLimit { .. }) => {

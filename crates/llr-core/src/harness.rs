@@ -188,7 +188,7 @@ pub fn stress<R: Renaming>(rn: &R, config: &StressConfig) -> StressReport {
     let total_acc = AtomicU64::new(0);
     let name_seen: Vec<AtomicU64> = (0..rn.dest_size()).map(|_| AtomicU64::new(0)).collect();
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for (t, &pid) in config.pids.iter().enumerate() {
             let oracle = &oracle;
             let gate = &gate;
@@ -196,7 +196,7 @@ pub fn stress<R: Renaming>(rn: &R, config: &StressConfig) -> StressReport {
             let max_acc = &max_acc;
             let total_acc = &total_acc;
             let name_seen = &name_seen;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut h = rn.handle(pid);
                 // Cheap deterministic per-thread jitter.
                 let mut rng = config.seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
@@ -231,8 +231,7 @@ pub fn stress<R: Renaming>(rn: &R, config: &StressConfig) -> StressReport {
                 }
             });
         }
-    })
-    .expect("a stress worker panicked");
+    });
 
     let total_ops = config.ops_per_thread * config.pids.len() as u64;
     StressReport {

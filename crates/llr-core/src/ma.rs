@@ -504,9 +504,10 @@ pub mod spec {
         fn step(&mut self, mem: &dyn Memory) -> MachineStatus {
             match &mut self.phase {
                 Phase::Idle => {
-                    let mut m = MaAcquire::new(self.shape.clone(), self.pid);
-                    debug_assert!(m.step(mem).is_none());
-                    self.phase = Phase::Acquiring(m);
+                    // Pure local transition; the acquire's first shared
+                    // access is its own scheduled step in every build
+                    // profile.
+                    self.phase = Phase::Acquiring(MaAcquire::new(self.shape.clone(), self.pid));
                     MachineStatus::Running
                 }
                 Phase::Acquiring(m) => {
@@ -576,6 +577,20 @@ pub mod spec {
         Ok(())
     }
 
+    /// Builds the model checker for an MA grid over source size `s` with
+    /// the given pids, `sessions` sessions each (shared by the
+    /// exhaustive checks and the E2 driver).
+    pub fn checker(k: usize, s: u64, pids: &[Pid], sessions: u8) -> ModelChecker<MaUser> {
+        assert!(pids.len() <= k);
+        let mut layout = Layout::new();
+        let shape = MaShape::build(k, s, &mut layout);
+        let machines: Vec<MaUser> = pids
+            .iter()
+            .map(|&p| MaUser::new(shape.clone(), p, sessions))
+            .collect();
+        ModelChecker::new(layout, machines)
+    }
+
     /// Exhaustively checks name uniqueness for `procs ≤ k` processes.
     ///
     /// # Errors
@@ -587,14 +602,7 @@ pub mod spec {
         pids: &[Pid],
         sessions: u8,
     ) -> Result<CheckStats, Box<Violation>> {
-        assert!(pids.len() <= k);
-        let mut layout = Layout::new();
-        let shape = MaShape::build(k, s, &mut layout);
-        let machines: Vec<MaUser> = pids
-            .iter()
-            .map(|&p| MaUser::new(shape.clone(), p, sessions))
-            .collect();
-        match ModelChecker::new(layout, machines).check(unique_names_invariant) {
+        match checker(k, s, pids, sessions).check(unique_names_invariant) {
             Ok(stats) => Ok(stats),
             Err(llr_mc::CheckError::Violation(v)) => Err(v),
             Err(e @ llr_mc::CheckError::StateLimit { .. }) => {

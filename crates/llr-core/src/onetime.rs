@@ -301,6 +301,19 @@ pub mod spec {
         Ok(())
     }
 
+    /// Builds the model checker for a one-time grid with `pids.len() ≤ k`
+    /// processes (shared by the exhaustive checks and the E2 driver).
+    pub fn checker(k: usize, pids: &[Pid]) -> ModelChecker<OneTimeUser> {
+        assert!(pids.len() <= k);
+        let mut layout = Layout::new();
+        let shape = OneTimeShape::build(k, &mut layout);
+        let machines: Vec<OneTimeUser> = pids
+            .iter()
+            .map(|&p| OneTimeUser::new(shape.clone(), p))
+            .collect();
+        ModelChecker::new(layout, machines)
+    }
+
     /// Exhaustively checks one-time uniqueness for `pids.len() ≤ k`
     /// processes.
     ///
@@ -309,14 +322,7 @@ pub mod spec {
     /// Returns the violating schedule if two processes can acquire the
     /// same name.
     pub fn check_onetime(k: usize, pids: &[Pid]) -> Result<CheckStats, Box<Violation>> {
-        assert!(pids.len() <= k);
-        let mut layout = Layout::new();
-        let shape = OneTimeShape::build(k, &mut layout);
-        let machines: Vec<OneTimeUser> = pids
-            .iter()
-            .map(|&p| OneTimeUser::new(shape.clone(), p))
-            .collect();
-        match ModelChecker::new(layout, machines).check(unique_names_invariant) {
+        match checker(k, pids).check(unique_names_invariant) {
             Ok(stats) => Ok(stats),
             Err(llr_mc::CheckError::Violation(v)) => Err(v),
             Err(e @ llr_mc::CheckError::StateLimit { .. }) => {

@@ -236,9 +236,9 @@ pub mod spec {
         fn step(&mut self, mem: &dyn Memory) -> MachineStatus {
             match &mut self.phase {
                 Phase::Idle => {
-                    let mut op = MeEnter::new(self.side);
-                    debug_assert!(op.step(&self.regs, mem).is_none());
-                    self.phase = Phase::Entering(op);
+                    // Pure local transition; the op's first shared access
+                    // is its own scheduled step in every build profile.
+                    self.phase = Phase::Entering(MeEnter::new(self.side));
                     MachineStatus::Running
                 }
                 Phase::Entering(op) => {
@@ -307,6 +307,42 @@ pub mod spec {
         }
     }
 
+    /// The deadlock-freedom invariant: never are both competitors
+    /// `Waiting` with both their `check`s durably false. Because `check`
+    /// depends only on the registers, testing the current registers
+    /// whenever both machines wait is exact.
+    pub fn no_deadlock_invariant(world: &World<'_, MeUser>) -> Result<(), String> {
+        let waiting: Vec<&MeUser> = world
+            .machines
+            .iter()
+            .filter(|m| matches!(m.phase, Phase::Waiting { .. }))
+            .collect();
+        if waiting.len() == 2 {
+            let blocked = waiting.iter().all(|m| {
+                let Phase::Waiting { own } = m.phase else {
+                    unreachable!()
+                };
+                !check(&m.regs, m.side, own, world.mem)
+            });
+            if blocked {
+                return Err("both competitors durably blocked (deadlock)".into());
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the model checker for two competitors doing `sessions`
+    /// sessions each (shared by the exhaustive checks and the E2 driver).
+    pub fn checker(sessions: u8) -> ModelChecker<MeUser> {
+        let mut layout = Layout::new();
+        let regs = MeRegs::allocate(&mut layout, "ME");
+        let machines = vec![
+            MeUser::new(regs, 0, sessions),
+            MeUser::new(regs, 1, sessions),
+        ];
+        ModelChecker::new(layout, machines)
+    }
+
     /// Exhaustively checks mutual exclusion for two competitors doing
     /// `sessions` sessions each.
     ///
@@ -314,13 +350,7 @@ pub mod spec {
     ///
     /// Returns the violating schedule if exclusion can be broken.
     pub fn check_exclusion(sessions: u8) -> Result<CheckStats, Box<Violation>> {
-        let mut layout = Layout::new();
-        let regs = MeRegs::allocate(&mut layout, "ME");
-        let machines = vec![
-            MeUser::new(regs, 0, sessions),
-            MeUser::new(regs, 1, sessions),
-        ];
-        match ModelChecker::new(layout, machines).check(mutual_exclusion) {
+        match checker(sessions).check(mutual_exclusion) {
             Ok(stats) => Ok(stats),
             Err(llr_mc::CheckError::Violation(v)) => Err(v),
             Err(e @ llr_mc::CheckError::StateLimit { .. }) => {
@@ -339,31 +369,7 @@ pub mod spec {
     ///
     /// Returns the violating schedule if a deadlock state is reachable.
     pub fn check_no_deadlock(sessions: u8) -> Result<CheckStats, Box<Violation>> {
-        let mut layout = Layout::new();
-        let regs = MeRegs::allocate(&mut layout, "ME");
-        let machines = vec![
-            MeUser::new(regs, 0, sessions),
-            MeUser::new(regs, 1, sessions),
-        ];
-        match ModelChecker::new(layout, machines).check(|world| {
-            let waiting: Vec<&MeUser> = world
-                .machines
-                .iter()
-                .filter(|m| matches!(m.phase, Phase::Waiting { .. }))
-                .collect();
-            if waiting.len() == 2 {
-                let blocked = waiting.iter().all(|m| {
-                    let Phase::Waiting { own } = m.phase else {
-                        unreachable!()
-                    };
-                    !check(&m.regs, m.side, own, world.mem)
-                });
-                if blocked {
-                    return Err("both competitors durably blocked (deadlock)".into());
-                }
-            }
-            Ok(())
-        }) {
+        match checker(sessions).check(no_deadlock_invariant) {
             Ok(stats) => Ok(stats),
             Err(llr_mc::CheckError::Violation(v)) => Err(v),
             Err(e @ llr_mc::CheckError::StateLimit { .. }) => {

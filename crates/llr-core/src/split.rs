@@ -276,6 +276,15 @@ impl SplitRelease {
     pub fn key(&self, out: &mut Vec<Word>) {
         out.push(self.idx as u64);
         self.op.key(out);
+        // The splitters not yet released — and the advice that will be
+        // written back to them — are future shared writes; omitting them
+        // would collapse states with different futures and make the
+        // visited-set quotient unsound (traversal-order-dependent).
+        for e in &self.path[..self.idx] {
+            out.push(e.node);
+            out.push(e.advice.word());
+            out.push(u64::from(e.adv2));
+        }
     }
 
     /// Short state description for traces.
@@ -615,9 +624,22 @@ pub mod spec {
         Ok(())
     }
 
-    /// Exhaustively model-checks SPLIT with `procs ≤ k` processes, each
-    /// doing `sessions` invocations. Pids are deliberately large/sparse to
+    /// Builds the model checker for SPLIT with `procs ≤ k` processes,
+    /// each doing `sessions` invocations (shared by the exhaustive
+    /// checks and the E2 driver). Pids are deliberately large/sparse to
     /// exercise independence from the source space.
+    pub fn checker(k: usize, procs: usize, sessions: u8) -> ModelChecker<SplitUser> {
+        assert!(procs <= k, "at most k processes may participate");
+        let mut layout = Layout::new();
+        let shape = SplitShape::build(k, &mut layout);
+        let machines: Vec<SplitUser> = (0..procs)
+            .map(|i| SplitUser::new(shape.clone(), 1_000_003 * (i as u64 + 1), sessions))
+            .collect();
+        ModelChecker::new(layout, machines)
+    }
+
+    /// Exhaustively model-checks SPLIT with `procs ≤ k` processes, each
+    /// doing `sessions` invocations.
     ///
     /// # Errors
     ///
@@ -627,13 +649,7 @@ pub mod spec {
         procs: usize,
         sessions: u8,
     ) -> Result<CheckStats, Box<Violation>> {
-        assert!(procs <= k, "at most k processes may participate");
-        let mut layout = Layout::new();
-        let shape = SplitShape::build(k, &mut layout);
-        let machines: Vec<SplitUser> = (0..procs)
-            .map(|i| SplitUser::new(shape.clone(), 1_000_003 * (i as u64 + 1), sessions))
-            .collect();
-        match ModelChecker::new(layout, machines).check(unique_names_invariant) {
+        match checker(k, procs, sessions).check(unique_names_invariant) {
             Ok(stats) => Ok(stats),
             Err(llr_mc::CheckError::Violation(v)) => Err(v),
             Err(e @ llr_mc::CheckError::StateLimit { .. }) => {

@@ -384,9 +384,10 @@ pub mod spec {
         fn step(&mut self, mem: &dyn Memory) -> MachineStatus {
             match &mut self.phase {
                 Phase::Idle => {
-                    let mut op = EnterOp::new();
-                    debug_assert!(op.step(&self.regs, self.pid, mem).is_none());
-                    self.phase = Phase::Entering(op);
+                    // Entering is a pure local transition: the op's first
+                    // shared access must be its own scheduled step, in
+                    // every build profile, or exploration diverges.
+                    self.phase = Phase::Entering(EnterOp::new());
                     MachineStatus::Running
                 }
                 Phase::Entering(op) => {
@@ -499,6 +500,27 @@ pub mod spec {
         init_a1: Word,
         init_a2: Word,
     ) -> Result<CheckStats, Box<Violation>> {
+        match checker(ell, sessions, init_last, init_a1, init_a2).check(output_set_invariant) {
+            Ok(stats) => Ok(stats),
+            Err(llr_mc::CheckError::Violation(v)) => Err(v),
+            Err(e @ llr_mc::CheckError::StateLimit { .. }) => {
+                panic!("splitter exploration should be small: {e}")
+            }
+        }
+    }
+
+    /// Builds the model checker for `ell` processes, each performing
+    /// `sessions` invocations, from the given initial register values.
+    /// The exhaustive checks, the equivalence tests, and the E2 driver
+    /// (which also times and parallelizes the run) share this
+    /// constructor.
+    pub fn checker(
+        ell: usize,
+        sessions: u8,
+        init_last: Pid,
+        init_a1: Word,
+        init_a2: Word,
+    ) -> ModelChecker<SplitterUser> {
         let mut layout = Layout::new();
         let regs = SplitterRegs::allocate(&mut layout, "B");
         layout.set_initial(regs.last, init_last);
@@ -507,13 +529,22 @@ pub mod spec {
         let machines: Vec<SplitterUser> = (0..ell as Pid)
             .map(|pid| SplitterUser::new(pid, regs, sessions))
             .collect();
-        match ModelChecker::new(layout, machines).check(output_set_invariant) {
-            Ok(stats) => Ok(stats),
-            Err(llr_mc::CheckError::Violation(v)) => Err(v),
-            Err(e @ llr_mc::CheckError::StateLimit { .. }) => {
-                panic!("splitter exploration should be small: {e}")
+        ModelChecker::new(layout, machines)
+    }
+
+    /// The 12 quiescent initial register assignments that
+    /// [`check_all_inits`] sweeps: `LAST` either a participant or a
+    /// foreign id, `ADVICE[1] ∈ {-1, ⊥, 1}`, `ADVICE[2] ∈ {-1, 1}`.
+    pub fn all_inits(ell: usize) -> Vec<(Pid, Word, Word)> {
+        let mut inits = Vec::with_capacity(12);
+        for init_last in [0, ell as Pid] {
+            for init_a1 in [enc::NEG, enc::BOT, enc::POS] {
+                for init_a2 in [enc::NEG, enc::POS] {
+                    inits.push((init_last, init_a1, init_a2));
+                }
             }
         }
+        inits
     }
 
     /// Runs [`check_exhaustive`] over **every** initial register
@@ -529,16 +560,12 @@ pub mod spec {
     /// Returns the first violation found.
     pub fn check_all_inits(ell: usize, sessions: u8) -> Result<CheckStats, Box<Violation>> {
         let mut total = CheckStats::default();
-        for init_last in [0, ell as Pid] {
-            for init_a1 in [enc::NEG, enc::BOT, enc::POS] {
-                for init_a2 in [enc::NEG, enc::POS] {
-                    let stats = check_exhaustive(ell, sessions, init_last, init_a1, init_a2)?;
-                    total.states += stats.states;
-                    total.transitions += stats.transitions;
-                    total.max_depth = total.max_depth.max(stats.max_depth);
-                    total.terminal_states += stats.terminal_states;
-                }
-            }
+        for (init_last, init_a1, init_a2) in all_inits(ell) {
+            let stats = check_exhaustive(ell, sessions, init_last, init_a1, init_a2)?;
+            total.states += stats.states;
+            total.transitions += stats.transitions;
+            total.max_depth = total.max_depth.max(stats.max_depth);
+            total.terminal_states += stats.terminal_states;
         }
         Ok(total)
     }

@@ -299,12 +299,10 @@ pub mod spec {
         fn step(&mut self, mem: &dyn Memory) -> MachineStatus {
             match &mut self.phase {
                 Phase::Idle => {
+                    // Pure local transition; the op's first shared access
+                    // is its own scheduled step in every build profile.
                     let side = TreeShape::side_at(self.pid, 1);
-                    let mut op = MeEnter::new(side);
-                    debug_assert!(op
-                        .step(&self.shape.block_for(self.pid, 1), mem)
-                        .is_none());
-                    self.phase = Phase::Entering { op };
+                    self.phase = Phase::Entering { op: MeEnter::new(side) };
                     MachineStatus::Running
                 }
                 Phase::Entering { op } => {
@@ -414,6 +412,19 @@ pub mod spec {
         }
     }
 
+    /// Builds the model checker for a source-size-`s` tree with the
+    /// given participants, `sessions` sessions each (shared by the
+    /// exhaustive checks and the E2 driver).
+    pub fn checker(s: u64, participants: &[Pid], sessions: u8) -> ModelChecker<TreeUser> {
+        let mut layout = Layout::new();
+        let shape = TreeShape::build(&mut layout, "T", s, participants);
+        let machines: Vec<TreeUser> = participants
+            .iter()
+            .map(|&p| TreeUser::new(shape.clone(), p, sessions))
+            .collect();
+        ModelChecker::new(layout, machines)
+    }
+
     /// Exhaustively checks root exclusion for the given participants.
     ///
     /// # Errors
@@ -425,13 +436,7 @@ pub mod spec {
         participants: &[Pid],
         sessions: u8,
     ) -> Result<CheckStats, Box<Violation>> {
-        let mut layout = Layout::new();
-        let shape = TreeShape::build(&mut layout, "T", s, participants);
-        let machines: Vec<TreeUser> = participants
-            .iter()
-            .map(|&p| TreeUser::new(shape.clone(), p, sessions))
-            .collect();
-        match ModelChecker::new(layout, machines).check(root_exclusion) {
+        match checker(s, participants, sessions).check(root_exclusion) {
             Ok(stats) => Ok(stats),
             Err(llr_mc::CheckError::Violation(v)) => Err(v),
             Err(e @ llr_mc::CheckError::StateLimit { .. }) => {

@@ -1,104 +1,146 @@
-//! Property-based tests for the algebraic substrate: field laws,
-//! polynomial facts, and the cover-freeness that FILTER's progress
-//! argument stands on.
+//! Randomized tests for the algebraic substrate: field laws, polynomial
+//! facts, and the cover-freeness that FILTER's progress argument stands
+//! on.
+//!
+//! The workspace builds fully offline, so instead of proptest these are
+//! deterministic seeded sweeps over a local SplitMix64 stream (`llr-gf`
+//! deliberately depends on nothing, so the generator is vendored here
+//! rather than imported from `llr-mc`).
 
 use llr_gf::{is_prime, next_prime_at_least, prime_in_range, FilterParams, Gf, NameSets, Poly};
-use proptest::prelude::*;
 
-fn small_prime() -> impl Strategy<Value = u64> {
-    prop::sample::select(vec![2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 97, 251])
-}
+/// Minimal SplitMix64 (Steele–Lea–Flood), enough to drive the sweeps.
+struct Rng(u64);
 
-proptest! {
-    /// Field laws for random elements of random prime fields.
-    #[test]
-    fn field_laws(z in small_prime(), a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
-        let f = Gf::new(z).unwrap();
-        let (a, b, c) = (f.reduce(a), f.reduce(b), f.reduce(c));
-        prop_assert_eq!(f.add(a, b), f.add(b, a));
-        prop_assert_eq!(f.mul(a, b), f.mul(b, a));
-        prop_assert_eq!(f.add(f.add(a, b), c), f.add(a, f.add(b, c)));
-        prop_assert_eq!(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
-        prop_assert_eq!(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
-        prop_assert_eq!(f.add(a, f.neg(a)), 0);
-        prop_assert_eq!(f.sub(f.add(a, b), b), a);
-        if a != 0 {
-            prop_assert_eq!(f.mul(a, f.inv(a).unwrap()), 1);
-        }
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
     }
 
-    /// Horner evaluation matches the naive power-sum definition.
-    #[test]
-    fn horner_matches_naive(
-        z in small_prime(),
-        coeffs in prop::collection::vec(any::<u64>(), 1..6),
-        x in any::<u64>(),
-    ) {
+    fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0);
+        // Multiply-shift reduction; the modulo bias over a u64 stream is
+        // immaterial for test-case generation.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len() as u64) as usize]
+    }
+}
+
+const CASES: usize = 256;
+
+const SMALL_PRIMES: [u64; 13] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 97, 251];
+
+/// Field laws for random elements of random prime fields.
+#[test]
+fn field_laws() {
+    let mut rng = Rng(0x6F_1E1D_0001);
+    for _ in 0..CASES {
+        let z = *rng.pick(&SMALL_PRIMES);
         let f = Gf::new(z).unwrap();
-        let coeffs: Vec<u64> = coeffs.into_iter().map(|c| f.reduce(c)).collect();
+        let (a, b, c) = (
+            f.reduce(rng.next_u64()),
+            f.reduce(rng.next_u64()),
+            f.reduce(rng.next_u64()),
+        );
+        assert_eq!(f.add(a, b), f.add(b, a));
+        assert_eq!(f.mul(a, b), f.mul(b, a));
+        assert_eq!(f.add(f.add(a, b), c), f.add(a, f.add(b, c)));
+        assert_eq!(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+        assert_eq!(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+        assert_eq!(f.add(a, f.neg(a)), 0);
+        assert_eq!(f.sub(f.add(a, b), b), a);
+        if a != 0 {
+            assert_eq!(f.mul(a, f.inv(a).unwrap()), 1);
+        }
+    }
+}
+
+/// Horner evaluation matches the naive power-sum definition.
+#[test]
+fn horner_matches_naive() {
+    let mut rng = Rng(0x6F_1E1D_0002);
+    for _ in 0..CASES {
+        let z = *rng.pick(&SMALL_PRIMES);
+        let f = Gf::new(z).unwrap();
+        let len = 1 + rng.below(5) as usize;
+        let coeffs: Vec<u64> = (0..len).map(|_| f.reduce(rng.next_u64())).collect();
         let q = Poly::new(f, coeffs.clone());
-        let x = f.reduce(x);
+        let x = f.reduce(rng.next_u64());
         let mut naive = 0u64;
         for (i, &c) in coeffs.iter().enumerate() {
             naive = f.add(naive, f.mul(c, f.pow(x, i as u64)));
         }
-        prop_assert_eq!(q.eval(x), naive);
+        assert_eq!(q.eval(x), naive);
     }
+}
 
-    /// Distinct process ids below z^(d+1) get distinct polynomials, and
-    /// two distinct degree-≤d polynomials agree on at most d points.
-    #[test]
-    fn agreement_bound(
-        z in prop::sample::select(vec![5u64, 7, 11, 13]),
-        d in 1usize..4,
-        p in any::<u64>(),
-        q in any::<u64>(),
-    ) {
+/// Distinct process ids below z^(d+1) get distinct polynomials, and two
+/// distinct degree-≤d polynomials agree on at most d points.
+#[test]
+fn agreement_bound() {
+    let mut rng = Rng(0x6F_1E1D_0003);
+    let mut done = 0usize;
+    while done < CASES {
+        let z = *rng.pick(&[5u64, 7, 11, 13]);
+        let d = 1 + rng.below(3) as usize; // 1..=3
         let f = Gf::new(z).unwrap();
         let bound = (z as u128).pow(d as u32 + 1).min(u64::MAX as u128) as u64;
-        let (p, q) = (p % bound, q % bound);
-        prop_assume!(p != q);
+        let (p, q) = (rng.next_u64() % bound, rng.next_u64() % bound);
+        if p == q {
+            continue; // rejected draw
+        }
+        done += 1;
         let qp = Poly::from_process_id(f, p, d);
         let qq = Poly::from_process_id(f, q, d);
-        prop_assert_ne!(qp.coeffs(), qq.coeffs());
-        prop_assert!(qp.agreement_count(&qq) <= d as u64);
+        assert_ne!(qp.coeffs(), qq.coeffs());
+        assert!(qp.agreement_count(&qq) <= d as u64);
     }
+}
 
-    /// Proposition 8 for random parameters and random pid pairs:
-    /// ‖N_p ∩ N_q‖ ≤ d, ‖N_p‖ = 2d(k-1), all names < D.
-    #[test]
-    fn name_set_properties(
-        k in 2usize..6,
-        d in 1usize..4,
-        pair in any::<(u64, u64)>(),
-    ) {
+/// Proposition 8 for random parameters and random pid pairs:
+/// ‖N_p ∩ N_q‖ ≤ d, ‖N_p‖ = 2d(k-1), all names < D.
+#[test]
+fn name_set_properties() {
+    let mut rng = Rng(0x6F_1E1D_0004);
+    for _ in 0..CASES {
+        let k = 2 + rng.below(4) as usize; // 2..=5
+        let d = 1 + rng.below(3) as usize; // 1..=3
         let need = 2 * d as u64 * (k as u64 - 1);
         let z = next_prime_at_least(need.max(2));
         let ns = NameSets::new(Gf::new(z).unwrap(), d, k).unwrap();
         let s = ns.max_source_size();
-        let (p, q) = (pair.0 % s, pair.1 % s);
+        let (p, q) = (rng.next_u64() % s, rng.next_u64() % s);
         let np = ns.name_set(p);
-        prop_assert_eq!(np.len(), 2 * d * (k - 1));
+        assert_eq!(np.len(), 2 * d * (k - 1));
         let uniq: std::collections::HashSet<_> = np.iter().collect();
-        prop_assert_eq!(uniq.len(), np.len());
+        assert_eq!(uniq.len(), np.len());
         for &n in &np {
-            prop_assert!(n < ns.dest_size());
+            assert!(n < ns.dest_size());
         }
         if p != q {
             let nq: std::collections::HashSet<_> = ns.name_set(q).into_iter().collect();
             let common = np.iter().filter(|n| nq.contains(n)).count();
-            prop_assert!(common <= d, "‖N_p ∩ N_q‖ = {common} > d = {d}");
+            assert!(common <= d, "‖N_p ∩ N_q‖ = {common} > d = {d}");
         }
     }
+}
 
-    /// The covering corollary: k-1 other processes leave ≥ d(k-1) free
-    /// names in N_p.
-    #[test]
-    fn covering_leaves_free_names(
-        k in 2usize..5,
-        d in 1usize..3,
-        seed in any::<u64>(),
-    ) {
+/// The covering corollary: k-1 other processes leave ≥ d(k-1) free names
+/// in N_p.
+#[test]
+fn covering_leaves_free_names() {
+    let mut rng = Rng(0x6F_1E1D_0005);
+    for _ in 0..CASES {
+        let k = 2 + rng.below(3) as usize; // 2..=4
+        let d = 1 + rng.below(2) as usize; // 1..=2
+        let seed = rng.next_u64();
         let need = 2 * d as u64 * (k as u64 - 1);
         let z = next_prime_at_least(need.max(2));
         let ns = NameSets::new(Gf::new(z).unwrap(), d, k).unwrap();
@@ -110,28 +152,34 @@ proptest! {
             .collect();
         let covered = ns.covered_count(p, &others);
         let free = ns.names_per_process() - covered;
-        prop_assert!(
+        assert!(
             free >= d * (k - 1),
             "only {free} free names (need ≥ {})",
             d * (k - 1)
         );
     }
+}
 
-    /// Primes from the searchers really are prime and really are in range.
-    #[test]
-    fn prime_search(lo in 2u64..1_000_000) {
+/// Primes from the searchers really are prime and really are in range.
+#[test]
+fn prime_search() {
+    let mut rng = Rng(0x6F_1E1D_0006);
+    for _ in 0..CASES {
+        let lo = 2 + rng.below(1_000_000 - 2);
         let p = next_prime_at_least(lo);
-        prop_assert!(p >= lo);
-        prop_assert!(is_prime(p));
+        assert!(p >= lo);
+        assert!(is_prime(p));
         // Bertrand: a prime exists in [lo, 2lo].
         let q = prime_in_range(lo, 2 * lo).expect("Bertrand interval");
-        prop_assert!(is_prime(q) && (lo..=2 * lo).contains(&q));
+        assert!(is_prime(q) && (lo..=2 * lo).contains(&q));
     }
+}
 
-    /// Every parameter regime yields validated instances whose derived
-    /// quantities are mutually consistent.
-    #[test]
-    fn regimes_are_consistent(k in 4usize..12) {
+/// Every parameter regime yields validated instances whose derived
+/// quantities are mutually consistent.
+#[test]
+fn regimes_are_consistent() {
+    for k in 4usize..12 {
         for params in [
             FilterParams::two_k_four(k).unwrap(),
             FilterParams::exponential3(k).unwrap(),
@@ -139,21 +187,24 @@ proptest! {
             FilterParams::quasi_polynomial(k).unwrap(),
             FilterParams::choose(k, 2 * (k as u64).pow(4)).unwrap(),
         ] {
-            prop_assert!(is_prime(params.modulus()));
-            prop_assert!(params.modulus() >= 2 * params.degree() as u64 * (k as u64 - 1));
-            prop_assert_eq!(
+            assert!(is_prime(params.modulus()));
+            assert!(params.modulus() >= 2 * params.degree() as u64 * (k as u64 - 1));
+            assert_eq!(
                 params.dest_size(),
                 2 * params.modulus() * params.degree() as u64 * (k as u64 - 1)
             );
-            prop_assert!(params.name_sets().max_source_size() >= params.source_size());
-            prop_assert!(params.max_checks() > 0);
+            assert!(params.name_sets().max_source_size() >= params.source_size());
+            assert!(params.max_checks() > 0);
         }
     }
+}
 
-    /// Miller–Rabin agrees with trial division on all small numbers.
-    #[test]
-    fn miller_rabin_vs_trial_division(n in 0u64..200_000) {
+/// Miller–Rabin agrees with trial division on all small numbers.
+#[test]
+fn miller_rabin_vs_trial_division() {
+    // Exhaustive where proptest sampled: every n below 200_000.
+    for n in 0u64..200_000 {
         let trial = n >= 2 && (2..=((n as f64).sqrt() as u64)).all(|d| n % d != 0);
-        prop_assert_eq!(is_prime(n), trial);
+        assert_eq!(is_prime(n), trial, "disagree at n = {n}");
     }
 }

@@ -1,10 +1,17 @@
 //! DFS state-space exploration with memoization, replay and random walks.
+//!
+//! This module holds the checker configuration, the sequential DFS
+//! engine (the fallback that the parallel frontier engine in
+//! [`crate::engine`] is checked against), and the shared state-key
+//! machinery: a reusable [`KeyBuilder`] so the hot path performs no
+//! per-transition allocation, and an incremental 128-bit hash for the
+//! memory-lean dedup mode.
 
+use crate::rng::SplitMix64;
 use crate::StepMachine;
 use llr_mem::{Layout, SimMemory, Word};
 use std::collections::HashSet;
 use std::fmt;
-use std::hash::{Hash, Hasher};
 
 /// A read-only view of one global state, handed to invariant closures.
 #[derive(Debug)]
@@ -32,10 +39,26 @@ pub struct CheckStats {
     /// Transitions (machine steps) taken, including ones leading to
     /// already-visited states.
     pub transitions: u64,
-    /// Longest schedule prefix on the DFS path.
+    /// Depth of the exploration: the longest schedule prefix on the DFS
+    /// path ([`ModelChecker::check`]) or the number of breadth-first
+    /// layers ([`ModelChecker::check_parallel`]). The two engines agree
+    /// on `states`, `transitions` and `terminal_states` but not on this
+    /// field.
     pub max_depth: usize,
     /// States in which every machine was done.
     pub terminal_states: u64,
+}
+
+impl CheckStats {
+    /// Exploration throughput for a run that took `wall` time, in states
+    /// per second (the E2 driver records this next to `wall_ms`).
+    pub fn states_per_sec(&self, wall: std::time::Duration) -> f64 {
+        let secs = wall.as_secs_f64();
+        if secs <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.states as f64 / secs
+    }
 }
 
 impl fmt::Display for CheckStats {
@@ -112,6 +135,108 @@ impl CheckError {
     }
 }
 
+// ---------------------------------------------------------------------------
+// State keys
+// ---------------------------------------------------------------------------
+
+/// Reusable scratch buffers for canonical state keys.
+///
+/// A state key is `registers ++ (done_i, machine_i key, u64::MAX)*` — the
+/// `u64::MAX` separator guards against ambiguous concatenation of
+/// variable-length machine keys. With `symmetry` enabled, the per-machine
+/// blocks are sorted, so states that differ only by a permutation of
+/// machine local states map to one key (see
+/// [`ModelChecker::symmetry_reduction`] for the soundness condition).
+///
+/// All buffers are reused across calls: after warm-up, building a key
+/// allocates nothing.
+#[derive(Default)]
+pub(crate) struct KeyBuilder {
+    buf: Vec<u64>,
+    /// Machine blocks staging area (symmetry mode only).
+    mbuf: Vec<u64>,
+    /// `(start, end)` block ranges into `mbuf` (symmetry mode only).
+    ranges: Vec<(u32, u32)>,
+}
+
+impl KeyBuilder {
+    /// Builds the key for the state `(mem, machines, done)`, with machine
+    /// `i` replaced by `(m, d)` when `replace = Some((i, m, d))` — the hot
+    /// path steps a single cloned machine and never materializes the full
+    /// successor machine vector for already-visited states.
+    pub(crate) fn build<M: StepMachine>(
+        &mut self,
+        mem: &SimMemory,
+        machines: &[M],
+        done: &[bool],
+        replace: Option<(usize, &M, bool)>,
+        symmetry: bool,
+    ) -> &[u64] {
+        self.buf.clear();
+        mem.snapshot_append(&mut self.buf);
+        let block = |out: &mut Vec<u64>, j: usize| {
+            let (m, d) = match replace {
+                Some((i, m, d)) if i == j => (m, d),
+                _ => (&machines[j], done[j]),
+            };
+            out.push(u64::from(d));
+            m.key(out);
+            out.push(u64::MAX);
+        };
+        if !symmetry {
+            for j in 0..machines.len() {
+                block(&mut self.buf, j);
+            }
+        } else {
+            self.mbuf.clear();
+            self.ranges.clear();
+            for j in 0..machines.len() {
+                let start = self.mbuf.len() as u32;
+                block(&mut self.mbuf, j);
+                self.ranges.push((start, self.mbuf.len() as u32));
+            }
+            let (mbuf, ranges) = (&self.mbuf, &mut self.ranges);
+            ranges.sort_unstable_by(|&(a0, a1), &(b0, b1)| {
+                mbuf[a0 as usize..a1 as usize].cmp(&mbuf[b0 as usize..b1 as usize])
+            });
+            for &(s, e) in self.ranges.iter() {
+                self.buf.extend_from_slice(&self.mbuf[s as usize..e as usize]);
+            }
+        }
+        &self.buf
+    }
+}
+
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    // The SplitMix64 finalizer: full avalanche in two multiplies.
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Incremental 128-bit state-key hash: two independently-seeded
+/// mix-chained 64-bit lanes over the key words. A collision would
+/// silently merge two states; with `n` states the probability is about
+/// `n²/2¹²⁹` (< 10⁻²⁴ for 10⁸ states), which the large configurations
+/// accept — CI-sized runs use exact dedup.
+pub(crate) fn hash128(key: &[u64]) -> u128 {
+    let mut h1: u64 = 0x243F_6A88_85A3_08D3; // first 64 fractional bits of π
+    let mut h2: u64 = 0x1319_8A2E_0370_7344; // next 64
+    for &w in key {
+        h1 = mix64(h1 ^ w);
+        h2 = mix64(h2 ^ w.rotate_left(32));
+    }
+    // Fold the length in so prefix keys cannot collide trivially.
+    h1 = mix64(h1 ^ key.len() as u64);
+    h2 = mix64(h2 ^ (key.len() as u64).rotate_left(32));
+    ((h1 as u128) << 64) | h2 as u128
+}
+
+// ---------------------------------------------------------------------------
+// The checker
+// ---------------------------------------------------------------------------
+
 struct Frame<M> {
     mem: Vec<Word>,
     machines: Vec<M>,
@@ -125,12 +250,23 @@ struct Frame<M> {
 /// Explores every interleaving of a set of [`StepMachine`]s over a shared
 /// register file and checks invariants in each reachable state.
 ///
+/// Two complete-exploration engines are available:
+///
+/// * [`check`](Self::check) — sequential depth-first search;
+/// * [`check_parallel`](Self::check_parallel) — breadth-first frontier
+///   exploration over [`workers`](Self::workers) threads.
+///
+/// Both visit exactly the same set of states and report identical
+/// `states`/`transitions`/`terminal_states` counts.
+///
 /// See the crate docs for a full example.
 pub struct ModelChecker<M> {
     layout: Layout,
     machines: Vec<M>,
     max_states: usize,
     hashed_dedup: bool,
+    symmetry: bool,
+    workers: usize,
 }
 
 impl<M: StepMachine> ModelChecker<M> {
@@ -142,6 +278,8 @@ impl<M: StepMachine> ModelChecker<M> {
             machines,
             max_states: 20_000_000,
             hashed_dedup: false,
+            symmetry: false,
+            workers: 1,
         }
     }
 
@@ -165,6 +303,46 @@ impl<M: StepMachine> ModelChecker<M> {
         self
     }
 
+    /// Quotient the state space by permutations of machine local states.
+    ///
+    /// With this flag on, two states whose shared registers agree and whose
+    /// multiset of machine local states agree are identified, collapsing
+    /// the `ℓ!` orderings of fully symmetric configurations.
+    ///
+    /// **Soundness condition:** this is a sound reduction only when the
+    /// machines are fully interchangeable — identical programs whose
+    /// observable behaviour does not depend on which machine index holds
+    /// which local state, and whose identities (pids) are not recorded in
+    /// shared registers. Most of the renaming protocol specs write pids
+    /// into registers, so this flag must stay **off** for them (the
+    /// default); it is intended for symmetric harness machines and for
+    /// future pid-normalizing specs.
+    pub fn symmetry_reduction(mut self, on: bool) -> Self {
+        self.symmetry = on;
+        self
+    }
+
+    /// Number of worker threads [`check_parallel`](Self::check_parallel)
+    /// and [`check_always_terminable`](Self::check_always_terminable) use.
+    ///
+    /// `0` means "one per available core". The default is `1`
+    /// (sequential). Worker count never changes which states are visited,
+    /// the reported counts, or which violation is reported — only wall
+    /// time.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n;
+        self
+    }
+
+    /// The configured worker count with `0` resolved to the core count.
+    pub(crate) fn resolved_workers(&self) -> usize {
+        if self.workers == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.workers
+        }
+    }
+
     /// The initial register-file layout (for sibling analyses).
     pub(crate) fn initial_layout(&self) -> Layout {
         self.layout.clone()
@@ -180,25 +358,25 @@ impl<M: StepMachine> ModelChecker<M> {
         self.max_states
     }
 
-    /// Canonical state key (exposed to sibling analyses in this crate).
-    pub(crate) fn state_key_of(mem: &SimMemory, machines: &[M], done: &[bool]) -> Vec<u64> {
-        Self::state_key(mem, machines, done)
+    /// Whether hashed dedup is enabled.
+    pub(crate) fn hashed(&self) -> bool {
+        self.hashed_dedup
     }
 
-    fn state_key(mem: &SimMemory, machines: &[M], done: &[bool]) -> Vec<u64> {
-        let mut key = mem.snapshot();
-        for (m, &d) in machines.iter().zip(done) {
-            key.push(u64::from(d));
-            m.key(&mut key);
-            // Separator guards against ambiguous concatenation of
-            // variable-length machine keys.
-            key.push(u64::MAX);
-        }
-        key
+    /// Whether symmetry reduction is enabled.
+    pub(crate) fn symmetry(&self) -> bool {
+        self.symmetry
     }
 
-    /// Exhaustively explores the state space, checking `invariant` in every
-    /// reachable state (including the initial one).
+    /// Exhaustively explores the state space depth-first, checking
+    /// `invariant` in every reachable state (including the initial one).
+    ///
+    /// The hot path is allocation-free: state keys are built in a reusable
+    /// [`KeyBuilder`], only one machine is cloned per transition, and
+    /// popped DFS frames are pooled and recycled. Exact dedup allocates
+    /// once per *distinct* state (the owned key); hashed dedup
+    /// ([`hashed_dedup`](Self::hashed_dedup)) stores a 16-byte hash
+    /// instead.
     ///
     /// # Errors
     ///
@@ -211,19 +389,19 @@ impl<M: StepMachine> ModelChecker<M> {
     {
         let mem = SimMemory::new(&self.layout);
         let mut stats = CheckStats::default();
-        let mut visited_exact: HashSet<Vec<u64>> = HashSet::new();
+        let mut visited_exact: HashSet<Box<[u64]>> = HashSet::new();
         let mut visited_hash: HashSet<u128> = HashSet::new();
-        let mut insert = |key: Vec<u64>, hashed: bool| -> bool {
-            if hashed {
-                visited_hash.insert(hash128(&key))
-            } else {
-                visited_exact.insert(key)
-            }
-        };
+        let mut kb = KeyBuilder::default();
 
         let done0 = vec![false; self.machines.len()];
-        let key0 = Self::state_key(&mem, &self.machines, &done0);
-        insert(key0, self.hashed_dedup);
+        {
+            let key0 = kb.build(&mem, &self.machines, &done0, None, self.symmetry);
+            if self.hashed_dedup {
+                visited_hash.insert(hash128(key0));
+            } else {
+                visited_exact.insert(key0.into());
+            }
+        }
         stats.states = 1;
         if done0.iter().all(|&d| d) {
             stats.terminal_states += 1;
@@ -249,35 +427,61 @@ impl<M: StepMachine> ModelChecker<M> {
             next: 0,
             via: usize::MAX,
         }];
+        // Recycled frames: their Vec allocations are reused by clone_from /
+        // snapshot_into, so steady-state exploration stops allocating.
+        let mut pool: Vec<Frame<M>> = Vec::new();
 
-        while let Some(top) = stack.last_mut() {
+        loop {
+            let depth = stack.len();
+            let Some(top) = stack.last_mut() else { break };
             // Pick the next not-yet-tried, not-done machine.
             let mut i = top.next;
             while i < top.machines.len() && top.done[i] {
                 i += 1;
             }
             if i >= top.machines.len() {
-                stack.pop();
+                let spent = stack.pop().expect("stack is nonempty");
+                pool.push(spent);
                 continue;
             }
             top.next = i + 1;
 
             mem.restore(&top.mem);
-            let mut machines = top.machines.clone();
-            let mut done = top.done.clone();
-            let status = machines[i].step(&mem);
-            if status.is_done() {
-                done[i] = true;
-            }
+            let mut mi = top.machines[i].clone();
+            let done_i = mi.step(&mem).is_done();
             stats.transitions += 1;
 
-            let key = Self::state_key(&mem, &machines, &done);
-            if !insert(key, self.hashed_dedup) {
+            let key = kb.build(&mem, &top.machines, &top.done, Some((i, &mi, done_i)), self.symmetry);
+            let fresh = if self.hashed_dedup {
+                visited_hash.insert(hash128(key))
+            } else if visited_exact.contains(key) {
+                false
+            } else {
+                visited_exact.insert(key.into())
+            };
+            if !fresh {
                 continue;
             }
             stats.states += 1;
-            stats.max_depth = stats.max_depth.max(stack.len());
-            let terminal = done.iter().all(|&d| d);
+            stats.max_depth = stats.max_depth.max(depth);
+
+            let mut frame = pool.pop().unwrap_or_else(|| Frame {
+                mem: Vec::new(),
+                machines: Vec::new(),
+                done: Vec::new(),
+                next: 0,
+                via: 0,
+            });
+            mem.snapshot_into(&mut frame.mem);
+            frame.machines.clone_from(&top.machines);
+            frame.machines[i] = mi;
+            frame.done.clear();
+            frame.done.extend_from_slice(&top.done);
+            frame.done[i] = done_i;
+            frame.next = 0;
+            frame.via = i;
+
+            let terminal = frame.done.iter().all(|&d| d);
             if terminal {
                 stats.terminal_states += 1;
             }
@@ -289,8 +493,8 @@ impl<M: StepMachine> ModelChecker<M> {
 
             let world = World {
                 mem: &mem,
-                machines: &machines,
-                done: &done,
+                machines: &frame.machines,
+                done: &frame.done,
             };
             if let Err(message) = invariant(&world) {
                 let mut schedule: Vec<usize> =
@@ -305,13 +509,6 @@ impl<M: StepMachine> ModelChecker<M> {
                 })));
             }
 
-            let frame = Frame {
-                mem: mem.snapshot(),
-                machines,
-                done,
-                next: 0,
-                via: i,
-            };
             stack.push(frame);
         }
 
@@ -400,12 +597,10 @@ impl<M: StepMachine> ModelChecker<M> {
     where
         F: Fn(&World<'_, M>) -> Result<(), String>,
     {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-
         let mut stats = CheckStats::default();
         for w in 0..walks {
-            let mut rng = StdRng::seed_from_u64(seed ^ (w as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut rng =
+                SplitMix64::new(seed ^ (w as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
             let mem = SimMemory::new(&self.layout);
             let mut machines = self.machines.clone();
             let mut done = vec![false; machines.len()];
@@ -417,7 +612,7 @@ impl<M: StepMachine> ModelChecker<M> {
                     stats.terminal_states += 1;
                     break;
                 }
-                let i = running[rng.gen_range(0..running.len())];
+                let i = running[rng.next_index(running.len())];
                 schedule.push(i);
                 if machines[i].step(&mem).is_done() {
                     done[i] = true;
@@ -479,19 +674,6 @@ impl<M: StepMachine> ModelChecker<M> {
             Err(stuck)
         }
     }
-}
-
-fn hash128(key: &[u64]) -> u128 {
-    // Two independent 64-bit FNV-style passes with distinct offsets; good
-    // enough for memoization (see `hashed_dedup` docs for the collision
-    // argument).
-    let mut h1 = std::collections::hash_map::DefaultHasher::new();
-    0xA5A5_5A5A_u64.hash(&mut h1);
-    key.hash(&mut h1);
-    let mut h2 = std::collections::hash_map::DefaultHasher::new();
-    0x1234_8765_u64.hash(&mut h2);
-    key.hash(&mut h2);
-    ((h1.finish() as u128) << 64) | h2.finish() as u128
 }
 
 impl<M: StepMachine> ModelChecker<M> {

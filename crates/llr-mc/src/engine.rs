@@ -1,0 +1,452 @@
+//! Parallel breadth-first frontier exploration.
+//!
+//! The engine expands the reachable state space one breadth-first layer at
+//! a time. Within a layer, `std::thread::scope` workers each expand a
+//! contiguous chunk of the frontier:
+//!
+//! * the **frozen** visited set (all states discovered in earlier layers)
+//!   is a plain sharded `HashMap` read lock-free by every worker — it is
+//!   immutable for the whole layer;
+//! * states first discovered *in this layer* go into **pending** — 64
+//!   mutex-guarded shards keyed like the frozen set. Each pending entry
+//!   remembers which worker materialized the successor state and the
+//!   schedule-least `(parent, via)` edge that reached it (min-merged on
+//!   every rediscovery).
+//!
+//! After the scope joins, a sequential phase drains pending, sorts the
+//! fresh states by `(parent id, via)` — parent ids are themselves assigned
+//! in this order, so state numbering, parent pointers, and therefore the
+//! first reported violation are **identical for every worker count** —
+//! assigns ids, checks the invariant, and promotes the entries into the
+//! frozen set for the next layer.
+//!
+//! The same engine builds the liveness graph: with edge recording on,
+//! every transition is reported as a `(from, to)` id pair, which
+//! [`crate::liveness`] consumes for its backward reachability marking.
+
+use crate::checker::{hash128, CheckError, CheckStats, KeyBuilder, ModelChecker, Violation, World};
+use crate::StepMachine;
+use llr_mem::{SimMemory, Word};
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::Mutex;
+
+/// Shard count for both the frozen and pending maps. Power of two so the
+/// shard index is a bit slice of the 128-bit state hash.
+const SHARDS: usize = 64;
+
+#[inline]
+fn shard_of(h: u128) -> usize {
+    (h >> 122) as usize & (SHARDS - 1)
+}
+
+/// Abstracts over the two dedup representations: owned full keys
+/// (`Box<[u64]>`, exact) and 128-bit hashes (`u128`, memory-lean). Both
+/// support lookup by the borrowed key buffer so the miss path allocates
+/// nothing.
+pub(crate) trait EngineKey: Eq + Hash + Send + Sync + Sized {
+    fn make(buf: &[u64], h: u128) -> Self;
+    fn find<V: Copy>(map: &HashMap<Self, V>, buf: &[u64], h: u128) -> Option<V>;
+    fn find_mut<'m, V>(map: &'m mut HashMap<Self, V>, buf: &[u64], h: u128)
+        -> Option<&'m mut V>;
+}
+
+impl EngineKey for Box<[u64]> {
+    fn make(buf: &[u64], _h: u128) -> Self {
+        buf.into()
+    }
+    fn find<V: Copy>(map: &HashMap<Self, V>, buf: &[u64], _h: u128) -> Option<V> {
+        map.get(buf).copied()
+    }
+    fn find_mut<'m, V>(
+        map: &'m mut HashMap<Self, V>,
+        buf: &[u64],
+        _h: u128,
+    ) -> Option<&'m mut V> {
+        map.get_mut(buf)
+    }
+}
+
+impl EngineKey for u128 {
+    fn make(_buf: &[u64], h: u128) -> Self {
+        h
+    }
+    fn find<V: Copy>(map: &HashMap<Self, V>, _buf: &[u64], h: u128) -> Option<V> {
+        map.get(&h).copied()
+    }
+    fn find_mut<'m, V>(
+        map: &'m mut HashMap<Self, V>,
+        _buf: &[u64],
+        h: u128,
+    ) -> Option<&'m mut V> {
+        map.get_mut(&h)
+    }
+}
+
+/// A fully materialized frontier state.
+struct FrontierState<M> {
+    snap: Vec<Word>,
+    machines: Vec<M>,
+    done: Vec<bool>,
+    /// Global state id (assigned sequentially in deterministic order).
+    id: u32,
+}
+
+/// A state discovered in the current layer, not yet assigned an id.
+struct Pend {
+    /// Worker that materialized the state...
+    worker: u32,
+    /// ...and the index into that worker's `fresh` vector.
+    idx: u32,
+    /// Schedule-least discovering edge (min-merged across rediscoveries).
+    parent: u32,
+    via: u8,
+    /// State hash, kept so promotion to frozen recomputes nothing.
+    h: u128,
+}
+
+enum EdgeTo {
+    /// Successor was already frozen with this id.
+    Known(u32),
+    /// Successor is pending: `(worker, idx)` names its materialization.
+    Fresh(u32, u32),
+}
+
+struct WorkerOut<M> {
+    fresh: Vec<Option<FrontierState<M>>>,
+    transitions: u64,
+    edges: Vec<(u32, EdgeTo)>,
+}
+
+/// The engine's result: exploration stats plus the spanning-tree parent
+/// pointers (always) and the full edge list (when requested).
+pub(crate) struct Explored {
+    pub stats: CheckStats,
+    /// `parent[id] = (parent id, machine index)`; the root has parent
+    /// `u32::MAX`.
+    pub parent: Vec<(u32, u8)>,
+    /// `terminal[id]` iff every machine is done in state `id`.
+    pub terminal: Vec<bool>,
+    /// All `(from, to)` transition pairs — empty unless `record_edges`.
+    pub edges: Vec<(u32, u32)>,
+}
+
+/// Reconstructs the schedule reaching `id` by walking parent pointers.
+pub(crate) fn schedule_to(parent: &[(u32, u8)], mut id: u32) -> Vec<usize> {
+    let mut schedule = Vec::new();
+    while parent[id as usize].0 != u32::MAX {
+        schedule.push(parent[id as usize].1 as usize);
+        id = parent[id as usize].0;
+    }
+    schedule.reverse();
+    schedule
+}
+
+/// Breadth-first exploration of the full state space over `workers`
+/// threads. Visits exactly the states [`ModelChecker::check`] visits and
+/// reports the same `states`/`transitions`/`terminal_states`;
+/// `max_depth` counts breadth-first layers instead of DFS depth.
+///
+/// Violations are deterministic regardless of worker count: ids are
+/// assigned in `(parent, via)` order layer by layer, the invariant is
+/// checked in id order, and the first failing state's spanning-tree
+/// schedule is reported.
+pub(crate) fn explore<M, F, K>(
+    mc: &ModelChecker<M>,
+    invariant: &F,
+    workers: usize,
+    record_edges: bool,
+) -> Result<Explored, CheckError>
+where
+    M: StepMachine + Send + Sync,
+    F: Fn(&World<'_, M>) -> Result<(), String>,
+    K: EngineKey,
+{
+    let symmetry = mc.symmetry();
+    let layout = mc.initial_layout();
+    let mem = SimMemory::new(&layout);
+    let machines0 = mc.initial_machines().to_vec();
+    assert!(
+        machines0.len() < u8::MAX as usize,
+        "the frontier engine supports at most 254 machines"
+    );
+    let done0 = vec![false; machines0.len()];
+
+    let mut stats = CheckStats::default();
+    let mut frozen: Vec<HashMap<K, u32>> = (0..SHARDS).map(|_| HashMap::new()).collect();
+    let mut parent: Vec<(u32, u8)> = vec![(u32::MAX, 0)];
+    let mut terminal: Vec<bool> = Vec::new();
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+
+    {
+        let mut kb = KeyBuilder::default();
+        let key0 = kb.build(&mem, &machines0, &done0, None, symmetry);
+        let h0 = hash128(key0);
+        frozen[shard_of(h0)].insert(K::make(key0, h0), 0);
+    }
+    stats.states = 1;
+    terminal.push(done0.iter().all(|&d| d));
+    if terminal[0] {
+        stats.terminal_states = 1;
+    }
+    {
+        let world = World {
+            mem: &mem,
+            machines: &machines0,
+            done: &done0,
+        };
+        if let Err(message) = invariant(&world) {
+            return Err(CheckError::Violation(Box::new(Violation {
+                message,
+                schedule: vec![],
+                trace: "(violated in the initial state)".into(),
+                stats,
+            })));
+        }
+    }
+
+    let mut frontier: Vec<FrontierState<M>> = vec![FrontierState {
+        snap: mem.snapshot(),
+        machines: machines0,
+        done: done0,
+        id: 0,
+    }];
+    // Scratch register file for main-thread invariant checks.
+    let check_mem = SimMemory::new(&layout);
+
+    while !frontier.is_empty() {
+        let nw = workers.clamp(1, frontier.len());
+        let chunk = frontier.len().div_ceil(nw);
+        let pending: Vec<Mutex<HashMap<K, Pend>>> =
+            (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect();
+        let frontier_ref = &frontier;
+        let frozen_ref = &frozen;
+        let pending_ref = &pending;
+
+        let mut outs: Vec<WorkerOut<M>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..nw)
+                .map(|w| {
+                    s.spawn(move || {
+                        // ceil-division chunking can leave trailing workers
+                        // with an empty (clamped) range.
+                        let lo = (w * chunk).min(frontier_ref.len());
+                        let hi = (lo + chunk).min(frontier_ref.len());
+                        let mut out = WorkerOut {
+                            fresh: Vec::new(),
+                            transitions: 0,
+                            edges: Vec::new(),
+                        };
+                        if lo >= hi {
+                            return out;
+                        }
+                        let mut kb = KeyBuilder::default();
+                        // Worker-private register file, restored per state.
+                        let wmem = SimMemory::with_values(&frontier_ref[lo].snap);
+                        for st in &frontier_ref[lo..hi] {
+                            for i in 0..st.machines.len() {
+                                if st.done[i] {
+                                    continue;
+                                }
+                                wmem.restore(&st.snap);
+                                let mut mi = st.machines[i].clone();
+                                let done_i = mi.step(&wmem).is_done();
+                                out.transitions += 1;
+                                let kbuf = kb.build(
+                                    &wmem,
+                                    &st.machines,
+                                    &st.done,
+                                    Some((i, &mi, done_i)),
+                                    symmetry,
+                                );
+                                let h = hash128(kbuf);
+                                let sh = shard_of(h);
+                                if let Some(id) = K::find(&frozen_ref[sh], kbuf, h) {
+                                    if record_edges {
+                                        out.edges.push((st.id, EdgeTo::Known(id)));
+                                    }
+                                    continue;
+                                }
+                                // First lock: min-merge if some worker already
+                                // materialized this state this layer.
+                                let hit = {
+                                    let mut g = pending_ref[sh].lock().expect("shard poisoned");
+                                    if let Some(p) = K::find_mut(&mut g, kbuf, h) {
+                                        if (st.id, i as u8) < (p.parent, p.via) {
+                                            p.parent = st.id;
+                                            p.via = i as u8;
+                                        }
+                                        Some((p.worker, p.idx))
+                                    } else {
+                                        None
+                                    }
+                                };
+                                let (w2, idx2) = match hit {
+                                    Some(wi) => wi,
+                                    None => {
+                                        // Materialize outside the lock, then
+                                        // double-check: another worker may have
+                                        // inserted the same state meanwhile.
+                                        let mut machines = st.machines.clone();
+                                        machines[i] = mi;
+                                        let mut done = st.done.clone();
+                                        done[i] = done_i;
+                                        let snap = wmem.snapshot();
+                                        let mut g =
+                                            pending_ref[sh].lock().expect("shard poisoned");
+                                        if let Some(p) = K::find_mut(&mut g, kbuf, h) {
+                                            if (st.id, i as u8) < (p.parent, p.via) {
+                                                p.parent = st.id;
+                                                p.via = i as u8;
+                                            }
+                                            (p.worker, p.idx)
+                                        } else {
+                                            let idx = out.fresh.len() as u32;
+                                            g.insert(
+                                                K::make(kbuf, h),
+                                                Pend {
+                                                    worker: w as u32,
+                                                    idx,
+                                                    parent: st.id,
+                                                    via: i as u8,
+                                                    h,
+                                                },
+                                            );
+                                            drop(g);
+                                            out.fresh.push(Some(FrontierState {
+                                                snap,
+                                                machines,
+                                                done,
+                                                id: u32::MAX,
+                                            }));
+                                            (w as u32, idx)
+                                        }
+                                    }
+                                };
+                                if record_edges {
+                                    out.edges.push((st.id, EdgeTo::Fresh(w2, idx2)));
+                                }
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("an exploration worker panicked"))
+                .collect()
+        });
+
+        stats.transitions += outs.iter().map(|o| o.transitions).sum::<u64>();
+
+        // Phase B (sequential): drain pending in deterministic order.
+        let mut discovered: Vec<(K, Pend)> = Vec::new();
+        for shard in pending {
+            let map = shard.into_inner().expect("shard poisoned");
+            discovered.extend(map);
+        }
+        // (parent, via) is unique per entry — `step` is deterministic, so one
+        // parent/machine pair can produce only one successor — hence this
+        // order is total and worker-independent.
+        discovered.sort_unstable_by_key(|(_, p)| (p.parent, p.via));
+
+        // `assigned[w][idx]` maps a worker-local fresh slot to its global id.
+        let mut assigned: Vec<Vec<u32>> =
+            outs.iter().map(|o| vec![u32::MAX; o.fresh.len()]).collect();
+        let mut next_frontier: Vec<FrontierState<M>> = Vec::with_capacity(discovered.len());
+
+        for (k, p) in discovered {
+            let id = u32::try_from(stats.states).expect("state ids exceed u32");
+            stats.states += 1;
+            if stats.states as usize > mc.state_limit() {
+                return Err(CheckError::StateLimit {
+                    limit: mc.state_limit(),
+                });
+            }
+            frozen[shard_of(p.h)].insert(k, id);
+            assigned[p.worker as usize][p.idx as usize] = id;
+            let mut st = outs[p.worker as usize].fresh[p.idx as usize]
+                .take()
+                .expect("pending entry names a materialized state");
+            st.id = id;
+            parent.push((p.parent, p.via));
+            let term = st.done.iter().all(|&d| d);
+            terminal.push(term);
+            if term {
+                stats.terminal_states += 1;
+            }
+
+            check_mem.restore(&st.snap);
+            let world = World {
+                mem: &check_mem,
+                machines: &st.machines,
+                done: &st.done,
+            };
+            if let Err(message) = invariant(&world) {
+                let schedule = schedule_to(&parent, id);
+                let trace = mc.render_trace(&schedule);
+                return Err(CheckError::Violation(Box::new(Violation {
+                    message,
+                    schedule,
+                    trace,
+                    stats,
+                })));
+            }
+            next_frontier.push(st);
+        }
+
+        if record_edges {
+            for out in &outs {
+                for (from, to) in &out.edges {
+                    let to_id = match *to {
+                        EdgeTo::Known(id) => id,
+                        EdgeTo::Fresh(w2, idx2) => assigned[w2 as usize][idx2 as usize],
+                    };
+                    edges.push((*from, to_id));
+                }
+            }
+        }
+
+        if !next_frontier.is_empty() {
+            stats.max_depth += 1;
+        }
+        frontier = next_frontier;
+    }
+
+    Ok(Explored {
+        stats,
+        parent,
+        terminal,
+        edges,
+    })
+}
+
+impl<M: StepMachine + Send + Sync> ModelChecker<M> {
+    /// Exhaustively explores the state space breadth-first over
+    /// [`workers`](Self::workers) threads, checking `invariant` in every
+    /// reachable state (including the initial one).
+    ///
+    /// Visits exactly the same states as [`check`](Self::check) and
+    /// reports identical `states`, `transitions` and `terminal_states`
+    /// (`max_depth` counts breadth-first layers instead of DFS depth).
+    /// Violation reporting is deterministic for every worker count: state
+    /// ids follow the layered `(parent, via)` order, and the first
+    /// violating id's spanning-tree schedule is returned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckError::Violation`] with a replayable schedule if the
+    /// invariant fails, or [`CheckError::StateLimit`] if the configured
+    /// state bound is exceeded before the search completes.
+    pub fn check_parallel<F>(&self, invariant: F) -> Result<CheckStats, CheckError>
+    where
+        F: Fn(&World<'_, M>) -> Result<(), String>,
+    {
+        let workers = self.resolved_workers();
+        if self.hashed() {
+            explore::<M, F, u128>(self, &invariant, workers, false).map(|e| e.stats)
+        } else {
+            explore::<M, F, Box<[u64]>>(self, &invariant, workers, false).map(|e| e.stats)
+        }
+    }
+}

@@ -19,12 +19,18 @@
 //!
 //! * [`StepMachine`] — a process as an explicit state machine: program
 //!   counter + locals, one shared access per [`StepMachine::step`].
-//! * [`ModelChecker`] — DFS over the global state graph
+//! * [`ModelChecker`] — exhaustive search over the global state graph
 //!   (registers × machine states) with visited-state memoization;
-//!   [`ModelChecker::check`] verifies an invariant in every reachable
-//!   state and produces a replayable [`Violation`] trace otherwise.
-//! * [`ModelChecker::random_walks`] — seeded random schedules for
-//!   configurations too large to enumerate.
+//!   [`ModelChecker::check`] (sequential DFS) and
+//!   [`ModelChecker::check_parallel`] (breadth-first frontier exploration
+//!   over [`ModelChecker::workers`] threads) verify an invariant in every
+//!   reachable state and produce a replayable [`Violation`] trace
+//!   otherwise. Both engines visit the same states and report identical
+//!   `states`/`transitions`/`terminal_states`; the parallel engine's
+//!   violation choice is deterministic for every worker count.
+//! * [`ModelChecker::random_walks`] — seeded random schedules (driven by
+//!   the vendored [`SplitMix64`]) for configurations too large to
+//!   enumerate.
 //! * [`ModelChecker::run_schedule`] / [`ModelChecker::round_robin`] —
 //!   deterministic replay and a bounded-fairness liveness check
 //!   (every machine finishes within a step budget under a fair schedule).
@@ -67,12 +73,15 @@
 //! ```
 
 mod checker;
+mod engine;
 mod liveness;
 mod machine;
+mod rng;
 
 pub use checker::{CheckError, CheckStats, ModelChecker, Violation, World};
 pub use liveness::LivenessStats;
 pub use machine::{MachineStatus, StepMachine};
+pub use rng::SplitMix64;
 
 #[cfg(test)]
 mod tests;

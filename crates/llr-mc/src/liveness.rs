@@ -13,13 +13,15 @@
 //! For blocking substrates like the Peterson–Fischer block, it is
 //! exactly deadlock-freedom.
 //!
-//! The graph for the configurations we check has up to a few million
-//! states; edges are stored as flat `u32` indices.
+//! The graph is built by the same parallel frontier engine as
+//! [`ModelChecker::check_parallel`] (with edge recording on), so the
+//! forward pass scales over [`ModelChecker::workers`] threads; only the
+//! backward marking is sequential. Edges are stored as flat `u32` index
+//! pairs; the configurations we check have up to a few million states.
 
 use crate::checker::{CheckError, CheckStats, ModelChecker, Violation};
+use crate::engine::{explore, schedule_to};
 use crate::StepMachine;
-use llr_mem::SimMemory;
-use std::collections::HashMap;
 
 /// Result of a [`ModelChecker::check_always_terminable`] run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -42,10 +44,15 @@ impl std::fmt::Display for LivenessStats {
     }
 }
 
-impl<M: StepMachine> ModelChecker<M> {
+impl<M: StepMachine + Send + Sync> ModelChecker<M> {
     /// Explores the full reachable state graph and verifies that a
     /// terminal state (every machine done) is reachable **from every
     /// reachable state**.
+    ///
+    /// The forward graph construction runs on the parallel frontier
+    /// engine over [`workers`](Self::workers) threads (state ids, and
+    /// hence the reported trap, are deterministic for every worker
+    /// count); the backward marking is sequential.
     ///
     /// # Errors
     ///
@@ -59,72 +66,24 @@ impl<M: StepMachine> ModelChecker<M> {
     /// Panics if the state graph exceeds `u32::MAX` states (far beyond
     /// the configured limits).
     pub fn check_always_terminable(&self) -> Result<LivenessStats, CheckError> {
-        let mem = SimMemory::new(&self.initial_layout());
-        let machines0 = self.initial_machines().to_vec();
-        let done0 = vec![false; machines0.len()];
-
-        // Forward BFS building the explicit graph.
-        let mut index: HashMap<Vec<u64>, u32> = HashMap::new();
-        let mut states: Vec<(Vec<u64>, Vec<M>, Vec<bool>)> = Vec::new();
-        let mut parent: Vec<(u32, u32)> = Vec::new(); // (pred index, machine stepped)
-        let mut succs: Vec<Vec<u32>> = Vec::new();
-        let mut terminal: Vec<bool> = Vec::new();
-
-        let key0 = Self::state_key_of(&mem, &machines0, &done0);
-        index.insert(key0, 0);
-        states.push((mem.snapshot(), machines0, done0.clone()));
-        parent.push((u32::MAX, u32::MAX));
-        succs.push(Vec::new());
-        terminal.push(done0.iter().all(|&d| d));
-
-        let mut edges = 0u64;
-        let mut frontier = 0usize;
-        while frontier < states.len() {
-            let (snap, machines, done) = states[frontier].clone();
-            for i in 0..machines.len() {
-                if done[i] {
-                    continue;
-                }
-                mem.restore(&snap);
-                let mut ms = machines.clone();
-                let mut ds = done.clone();
-                if ms[i].step(&mem).is_done() {
-                    ds[i] = true;
-                }
-                edges += 1;
-                let key = Self::state_key_of(&mem, &ms, &ds);
-                let next = match index.get(&key) {
-                    Some(&idx) => idx,
-                    None => {
-                        let idx = u32::try_from(states.len()).expect("state graph too large");
-                        if states.len() >= self.state_limit() {
-                            return Err(CheckError::StateLimit {
-                                limit: self.state_limit(),
-                            });
-                        }
-                        index.insert(key, idx);
-                        terminal.push(ds.iter().all(|&d| d));
-                        states.push((mem.snapshot(), ms, ds));
-                        parent.push((frontier as u32, i as u32));
-                        succs.push(Vec::new());
-                        idx
-                    }
-                };
-                succs[frontier].push(next);
-            }
-            frontier += 1;
-        }
+        let workers = self.resolved_workers();
+        let ok = |_: &crate::World<'_, M>| Ok(());
+        let explored = if self.hashed() {
+            explore::<M, _, u128>(self, &ok, workers, true)?
+        } else {
+            explore::<M, _, Box<[u64]>>(self, &ok, workers, true)?
+        };
 
         // Backward marking from terminal states over reversed edges.
-        let n = states.len();
+        let n = explored.stats.states as usize;
         let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
-        for (from, outs) in succs.iter().enumerate() {
-            for &to in outs {
-                preds[to as usize].push(from as u32);
-            }
+        for &(from, to) in &explored.edges {
+            preds[to as usize].push(from);
         }
         let mut can_finish = vec![false; n];
-        let mut queue: Vec<u32> = (0..n as u32).filter(|&i| terminal[i as usize]).collect();
+        let mut queue: Vec<u32> = (0..n as u32)
+            .filter(|&i| explored.terminal[i as usize])
+            .collect();
         let terminal_count = queue.len() as u64;
         for &t in &queue {
             can_finish[t as usize] = true;
@@ -139,15 +98,9 @@ impl<M: StepMachine> ModelChecker<M> {
         }
 
         if let Some(trap) = (0..n).find(|&i| !can_finish[i]) {
-            // Reconstruct the schedule into the trap via parent pointers.
-            let mut schedule = Vec::new();
-            let mut cur = trap as u32;
-            while parent[cur as usize].0 != u32::MAX {
-                let (p, via) = parent[cur as usize];
-                schedule.push(via as usize);
-                cur = p;
-            }
-            schedule.reverse();
+            // Reconstruct the schedule into the trap via the engine's
+            // spanning-tree parent pointers.
+            let schedule = schedule_to(&explored.parent, trap as u32);
             let trace = self.render_trace(&schedule);
             return Err(CheckError::Violation(Box::new(Violation {
                 message: format!(
@@ -157,8 +110,8 @@ impl<M: StepMachine> ModelChecker<M> {
                 trace,
                 stats: CheckStats {
                     states: n as u64,
-                    transitions: edges,
-                    max_depth: 0,
+                    transitions: explored.stats.transitions,
+                    max_depth: explored.stats.max_depth,
                     terminal_states: terminal_count,
                 },
             })));
@@ -166,7 +119,7 @@ impl<M: StepMachine> ModelChecker<M> {
 
         Ok(LivenessStats {
             states: n as u64,
-            edges,
+            edges: explored.stats.transitions,
             terminal_states: terminal_count,
         })
     }

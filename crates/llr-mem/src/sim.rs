@@ -53,6 +53,20 @@ impl SimMemory {
         self.cells.iter().map(Cell::get).collect()
     }
 
+    /// Copies the current register contents into `buf`, reusing its
+    /// allocation (the model checker's hot path takes a snapshot per
+    /// explored state; this keeps that allocation-free after warm-up).
+    pub fn snapshot_into(&self, buf: &mut Vec<Word>) {
+        buf.clear();
+        buf.extend(self.cells.iter().map(Cell::get));
+    }
+
+    /// Appends the current register contents to `buf` without clearing it
+    /// (used to build composite state keys in one buffer).
+    pub fn snapshot_append(&self, buf: &mut Vec<Word>) {
+        buf.extend(self.cells.iter().map(Cell::get));
+    }
+
     /// Restores register contents from a snapshot (access counters are left
     /// untouched).
     ///
@@ -128,6 +142,23 @@ mod tests {
         assert_eq!(m.accesses(), 3);
         m.reset_accesses();
         assert_eq!(m.accesses(), 0);
+    }
+
+    #[test]
+    fn snapshot_into_reuses_buffer() {
+        let m = mem3();
+        let mut buf = Vec::with_capacity(8);
+        m.snapshot_into(&mut buf);
+        assert_eq!(buf, vec![0, 1, 2]);
+        let ptr = buf.as_ptr();
+        m.write(Loc(1), 7);
+        m.snapshot_into(&mut buf);
+        assert_eq!(buf, vec![0, 7, 2]);
+        assert_eq!(ptr, buf.as_ptr(), "buffer must be reused, not reallocated");
+        buf.clear();
+        buf.push(99);
+        m.snapshot_append(&mut buf);
+        assert_eq!(buf, vec![99, 0, 7, 2]);
     }
 
     #[test]

@@ -42,14 +42,14 @@ fn main() {
     let gate = Gate::new(k); // at most k daemons active, per the contract
     let max_acc = AtomicU64::new(0);
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for &pid in &daemons {
             let filter = &filter;
             let oracle = &oracle;
             let gate = &gate;
             let slot_work = &slot_work;
             let max_acc = &max_acc;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut h = filter.handle(pid);
                 for _ in 0..50 {
                     gate.enter();
@@ -65,8 +65,7 @@ fn main() {
                 }
             });
         }
-    })
-    .expect("daemon panicked");
+    });
 
     let used: Vec<(usize, u64)> = slot_work
         .iter()

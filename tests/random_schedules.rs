@@ -1,6 +1,11 @@
-//! Property-based testing: randomized schedules over the protocols'
-//! model-checkable specifications. Exhaustive checking covers tiny
-//! configurations completely; these proptests sample much larger ones.
+//! Randomized-schedule testing over the protocols' model-checkable
+//! specifications. Exhaustive checking covers tiny configurations
+//! completely; these tests sample much larger ones.
+//!
+//! The workspace builds fully offline, so instead of proptest these are
+//! deterministic seeded sweeps: a [`SplitMix64`] stream drives both the
+//! per-case configuration draw and the schedule sampling, so every
+//! failure is reproducible from the constant seeds below.
 
 use llr_core::filter::spec as filter_spec;
 use llr_core::ma::spec as ma_spec;
@@ -11,23 +16,23 @@ use llr_core::splitter::SplitterRegs;
 use llr_core::tournament::spec as tree_spec;
 use llr_core::tournament::TreeShape;
 use llr_gf::FilterParams;
-use llr_mc::ModelChecker;
+use llr_mc::{ModelChecker, SplitMix64};
 use llr_mem::Layout;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+const CASES: usize = 24;
 
-    /// Splitter output-set invariant under random schedules with 3–5
-    /// processes and arbitrary initial advice registers.
-    #[test]
-    fn splitter_random_walks(
-        ell in 3usize..=5,
-        sessions in 1u8..=3,
-        init_a1 in 0u64..=2,
-        init_a2 in prop::sample::select(vec![0u64, 2]),
-        seed in any::<u64>(),
-    ) {
+/// Splitter output-set invariant under random schedules with 3–5
+/// processes and arbitrary initial advice registers.
+#[test]
+fn splitter_random_walks() {
+    let mut gen = SplitMix64::new(0x5EED_5917_7E55_0001);
+    for _ in 0..CASES {
+        let ell = 3 + gen.next_index(3); // 3..=5
+        let sessions = 1 + gen.next_below(3) as u8; // 1..=3
+        let init_a1 = gen.next_below(3); // 0..=2
+        let init_a2 = [0u64, 2][gen.next_index(2)];
+        let seed = gen.next_u64();
+
         let mut layout = Layout::new();
         let regs = SplitterRegs::allocate(&mut layout, "B");
         layout.set_initial(regs.a1, init_a1);
@@ -37,16 +42,21 @@ proptest! {
             .collect();
         let mc = ModelChecker::new(layout, machines);
         mc.random_walks(splitter_spec::output_set_invariant, 40, 100_000, seed)
-            .map_err(|v| TestCaseError::fail(format!("{v}")))?;
+            .unwrap_or_else(|v| {
+                panic!("ell={ell} sessions={sessions} a1={init_a1} a2={init_a2}: {v}")
+            });
     }
+}
 
-    /// SPLIT name uniqueness under random schedules at larger k than the
-    /// exhaustive tests can afford.
-    #[test]
-    fn split_random_walks(
-        k in 3usize..=5,
-        seed in any::<u64>(),
-    ) {
+/// SPLIT name uniqueness under random schedules at larger k than the
+/// exhaustive tests can afford.
+#[test]
+fn split_random_walks() {
+    let mut gen = SplitMix64::new(0x5EED_5917_7E55_0002);
+    for _ in 0..CASES {
+        let k = 3 + gen.next_index(3); // 3..=5
+        let seed = gen.next_u64();
+
         let mut layout = Layout::new();
         let shape = SplitShape::build(k, &mut layout);
         let machines: Vec<_> = (0..k as u64)
@@ -54,19 +64,24 @@ proptest! {
             .collect();
         let mc = ModelChecker::new(layout, machines);
         mc.random_walks(split_spec::unique_names_invariant, 25, 200_000, seed)
-            .map_err(|v| TestCaseError::fail(format!("{v}")))?;
+            .unwrap_or_else(|v| panic!("k={k}: {v}"));
     }
+}
 
-    /// Tournament-tree root exclusion with up to 6 processes in a 16-leaf
-    /// tree.
-    #[test]
-    fn tournament_random_walks(
-        mask in 1u16..((1u16 << 8) - 1),
-        seed in any::<u64>(),
-    ) {
-        let participants: Vec<u64> =
-            (0..8u64).filter(|&p| mask & (1 << p) != 0).collect();
-        prop_assume!(participants.len() >= 2);
+/// Tournament-tree root exclusion with 2–8 processes in a 16-leaf tree.
+#[test]
+fn tournament_random_walks() {
+    let mut gen = SplitMix64::new(0x5EED_5917_7E55_0003);
+    let mut done = 0usize;
+    while done < CASES {
+        let mask = 1 + gen.next_below((1 << 8) - 1) as u16;
+        let participants: Vec<u64> = (0..8u64).filter(|&p| mask & (1 << p) != 0).collect();
+        if participants.len() < 2 {
+            continue; // rejected draw, like prop_assume!
+        }
+        let seed = gen.next_u64();
+        done += 1;
+
         let mut layout = Layout::new();
         let shape = TreeShape::build(&mut layout, "T", 16, &participants);
         let machines: Vec<_> = participants
@@ -75,20 +90,36 @@ proptest! {
             .collect();
         let mc = ModelChecker::new(layout, machines);
         mc.random_walks(tree_spec::root_exclusion, 25, 200_000, seed)
-            .map_err(|v| TestCaseError::fail(format!("{v}")))?;
+            .unwrap_or_else(|v| panic!("participants={participants:?}: {v}"));
     }
+}
 
-    /// FILTER uniqueness + block exclusion with 3 processes over GF(5).
-    #[test]
-    fn filter_random_walks(
-        pids in prop::sample::subsequence((0u64..24).collect::<Vec<_>>(), 3),
-        seed in any::<u64>(),
-    ) {
+/// Draws a sorted `want`-element subsequence of `0..n` (the offline
+/// stand-in for proptest's `subsequence` strategy).
+fn draw_pids(gen: &mut SplitMix64, n: u64, want: usize) -> Vec<u64> {
+    let mut pids: Vec<u64> = Vec::with_capacity(want);
+    while pids.len() < want {
+        let p = gen.next_below(n);
+        if !pids.contains(&p) {
+            pids.push(p);
+        }
+    }
+    pids.sort_unstable();
+    pids
+}
+
+/// FILTER uniqueness + block exclusion with 3 processes over GF(5).
+#[test]
+fn filter_random_walks() {
+    let mut gen = SplitMix64::new(0x5EED_5917_7E55_0004);
+    for _ in 0..CASES {
+        let pids = draw_pids(&mut gen, 24, 3);
+        let seed = gen.next_u64();
+
         // k = 3, d = 1, z = 5: S ≤ 25, N_p of size 4, D = 20.
         let params = FilterParams::new(3, 25, 1, 5).unwrap();
         let mut layout = Layout::new();
-        let shape =
-            llr_core::filter::FilterShape::build(params, &pids, &mut layout).unwrap();
+        let shape = llr_core::filter::FilterShape::build(params, &pids, &mut layout).unwrap();
         let machines: Vec<_> = pids
             .iter()
             .map(|&p| filter_spec::FilterUser::new(shape.clone(), p, 2))
@@ -99,15 +130,18 @@ proptest! {
             filter_spec::block_exclusion_invariant(w)
         };
         mc.random_walks(inv, 20, 400_000, seed)
-            .map_err(|v| TestCaseError::fail(format!("{v}")))?;
+            .unwrap_or_else(|v| panic!("pids={pids:?}: {v}"));
     }
+}
 
-    /// MA grid uniqueness with 3 processes and random pids.
-    #[test]
-    fn ma_random_walks(
-        pids in prop::sample::subsequence((0u64..8).collect::<Vec<_>>(), 3),
-        seed in any::<u64>(),
-    ) {
+/// MA grid uniqueness with 3 processes and random pids.
+#[test]
+fn ma_random_walks() {
+    let mut gen = SplitMix64::new(0x5EED_5917_7E55_0005);
+    for _ in 0..CASES {
+        let pids = draw_pids(&mut gen, 8, 3);
+        let seed = gen.next_u64();
+
         let mut layout = Layout::new();
         let shape = llr_core::ma::MaShape::build(3, 8, &mut layout);
         let machines: Vec<_> = pids
@@ -116,6 +150,6 @@ proptest! {
             .collect();
         let mc = ModelChecker::new(layout, machines);
         mc.random_walks(ma_spec::unique_names_invariant, 25, 200_000, seed)
-            .map_err(|v| TestCaseError::fail(format!("{v}")))?;
+            .unwrap_or_else(|v| panic!("pids={pids:?}: {v}"));
     }
 }
