@@ -4,11 +4,16 @@
 #
 #   1. tier-1: release build + full test suite
 #   2. lint: clippy, warnings are errors
-#   3. fast E2 subset: the engine-equivalence tests re-check the
+#   3. docs: `cargo doc` with warnings denied (llr-mc carries
+#      `#![warn(missing_docs)]`, so every public item must stay
+#      documented) plus the doctests, so the documented examples keep
+#      compiling and passing.
+#   4. fast E2 subset: the engine-equivalence tests re-check the
 #      mid-size rows of results/e2_modelcheck.csv under the sequential
-#      DFS and the parallel BFS engine (1/2/4 workers, exact and hashed
-#      dedup), pinning the counts byte-for-byte. This is the checker
-#      hot path; run it in release so it stays fast.
+#      DFS, the parallel BFS engine (1/2/4 workers, exact and hashed
+#      dedup) and the spill-to-disk engine (generous and zero budgets),
+#      pinning the counts byte-for-byte. This is the checker hot path;
+#      run it in release so it stays fast.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -20,6 +25,10 @@ cargo test -q --offline
 
 echo "== clippy (-D warnings) =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== docs (-D warnings) + doctests =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
+cargo test -q --offline --doc --workspace
 
 echo "== fast E2 subset (engine equivalence, release) =="
 cargo test -q --offline --release --test engine_equivalence

@@ -13,6 +13,15 @@
 //! parallel speedup is measurable straight from the CSV on a multicore
 //! host (engines agree exactly on states/transitions by construction —
 //! `tests/engine_equivalence.rs` pins that).
+//!
+//! The largest rows — one size step beyond what fits in RAM — run on the
+//! external-memory backend (`bfs+spill`): the visited set lives in
+//! sorted runs on disk and only a bounded delta (the budget in the
+//! engine label) stays resident. The `peak_resident_bytes` column
+//! reports each parallel engine's deterministic tracked footprint
+//! (visited set / delta + frontier + spanning tree — a reproducible
+//! lower bound on RSS, not a measurement), and `spilled_bytes` the total
+//! run bytes written, so the memory story is auditable from the CSV.
 
 use crate::common::{banner, Table};
 use llr_core::chain::spec as chain_spec;
@@ -36,6 +45,10 @@ enum Engine {
     Bfs,
     /// Parallel BFS, one worker per core, 128-bit hashed dedup.
     BfsHashed,
+    /// Parallel BFS with the external-memory visited set: only this many
+    /// bytes of not-yet-flushed state hashes stay in RAM; the rest lives
+    /// in sorted runs on disk (see `ModelChecker::spill_dir`).
+    BfsSpill(usize),
 }
 
 impl Engine {
@@ -45,12 +58,21 @@ impl Engine {
             Engine::Dfs => "dfs".into(),
             Engine::Bfs => format!("bfs:{w}w"),
             Engine::BfsHashed => format!("bfs+hash:{w}w"),
+            Engine::BfsSpill(budget) => {
+                format!("bfs+spill:{w}w:{}MiB", budget >> 20)
+            }
         }
     }
 }
 
 /// State budget for the large parallel rows.
 const BIG: usize = 200_000_000;
+
+/// Visited-set delta budget for the spill rows: the visited sets of
+/// these rows are an order of magnitude larger than this (the
+/// `peak_resident_bytes` column of their in-RAM siblings shows it), so
+/// the rows genuinely exercise the external-memory path.
+const SPILL_BUDGET: usize = 256 << 20;
 
 fn explore<M, F>(
     mc: ModelChecker<M>,
@@ -69,6 +91,11 @@ where
             .max_states(BIG)
             .workers(0)
             .hashed_dedup(true)
+            .check_parallel(invariant),
+        Engine::BfsSpill(budget) => mc
+            .max_states(BIG)
+            .workers(0)
+            .spill_dir(std::env::temp_dir(), budget)
             .check_parallel(invariant),
     };
     (r, start.elapsed())
@@ -96,6 +123,9 @@ fn splitter_all_inits(
                 total.transitions += s.transitions;
                 total.max_depth = total.max_depth.max(s.max_depth);
                 total.terminal_states += s.terminal_states;
+                total.peak_resident_bytes =
+                    total.peak_resident_bytes.max(s.peak_resident_bytes);
+                total.spilled_bytes += s.spilled_bytes;
             }
             Err(e) => return (Err(e), wall),
         }
@@ -116,6 +146,8 @@ pub fn run() {
             "transitions",
             "wall_ms",
             "states_per_sec",
+            "peak_resident_bytes",
+            "spilled_bytes",
             "verdict",
         ],
     );
@@ -128,6 +160,17 @@ pub fn run() {
         match res {
             Ok(s) => {
                 let sps = format!("{:.0}", s.states_per_sec(wall));
+                // The parallel engines report their deterministic tracked
+                // footprint; the DFS reference does not track one.
+                let resident = if s.peak_resident_bytes > 0 {
+                    s.peak_resident_bytes.to_string()
+                } else {
+                    "-".into()
+                };
+                let spilled = match engine {
+                    Engine::BfsSpill(_) => s.spilled_bytes.to_string(),
+                    _ => "-".into(),
+                };
                 t.row(&[
                     &subject,
                     &invariant,
@@ -137,6 +180,8 @@ pub fn run() {
                     &s.transitions,
                     &wall_ms,
                     &sps,
+                    &resident,
+                    &spilled,
                     &"VERIFIED",
                 ]);
             }
@@ -144,6 +189,7 @@ pub fn run() {
                 let verdict = match &e {
                     CheckError::Violation(_) => "VIOLATED",
                     CheckError::StateLimit { .. } => "STATE-LIMIT",
+                    CheckError::Io(_) => "IO-ERROR",
                 };
                 t.row(&[
                     &subject,
@@ -153,6 +199,8 @@ pub fn run() {
                     &"-",
                     &"-",
                     &wall_ms,
+                    &"-",
+                    &"-",
                     &"-",
                     &verdict,
                 ]);
@@ -185,6 +233,17 @@ pub fn run() {
         "ℓ=3, 3 sessions, all 12 initial states",
         Engine::BfsHashed,
         splitter_all_inits(3, 3, Engine::BfsHashed),
+    );
+    // One size step beyond what the in-RAM engines cover, on the
+    // external-memory backend. Each of the 12 initial-state runs is its
+    // own exploration, so the budget is sized against a single run's
+    // visited set (≈ 120 MiB of hashes), not the row total.
+    add(
+        "splitter (Fig 2)",
+        "each output set ≤ ℓ-1",
+        "ℓ=3, 4 sessions, all 12 initial states",
+        Engine::BfsSpill(SPILL_BUDGET / 4),
+        splitter_all_inits(3, 4, Engine::BfsSpill(SPILL_BUDGET / 4)),
     );
 
     // Peterson–Fischer ME (Figure 3 reconstruction) — Lemma 6 substrate.
@@ -230,6 +289,7 @@ pub fn run() {
         (3, 2, 2, Engine::Dfs),
         (3, 3, 1, Engine::Dfs),
         (4, 3, 1, Engine::BfsHashed),
+        (5, 3, 1, Engine::BfsSpill(SPILL_BUDGET)),
     ] {
         add(
             "SPLIT (Fig 1)",
@@ -270,6 +330,22 @@ pub fn run() {
             ),
         );
     }
+    // FILTER at the next field size: k=4, GF(7), four contenders. The
+    // visited set for this row dwarfs the spill budget (compare
+    // `peak_resident_bytes` on the in-RAM rows above) — this is the row
+    // the external-memory backend exists for.
+    let gf7 = FilterParams::new(4, 49, 1, 7).unwrap();
+    add(
+        "FILTER (Fig 4)",
+        "unique names + ME blocks",
+        "k=4, S=49, d=1, z=7, pids=[1,8,15,22], 1 sessions",
+        Engine::BfsSpill(SPILL_BUDGET),
+        explore(
+            filter_spec::checker(gf7, &[1, 8, 15, 22], 1),
+            filter_spec::combined_invariant,
+            Engine::BfsSpill(SPILL_BUDGET),
+        ),
+    );
 
     // MA grid — uniqueness. Three contenders doing two full sessions each
     // is new.

@@ -652,7 +652,7 @@ pub mod spec {
         match checker(k, pids, sessions).check(unique_names_invariant) {
             Ok(stats) => Ok(stats),
             Err(llr_mc::CheckError::Violation(v)) => Err(v),
-            Err(e @ llr_mc::CheckError::StateLimit { .. }) => {
+            Err(e) => {
                 panic!("chain exploration exceeded the state budget: {e}")
             }
         }

@@ -948,7 +948,7 @@ pub mod spec {
         {
             Ok(stats) => Ok(stats),
             Err(llr_mc::CheckError::Violation(v)) => Err(v),
-            Err(e @ llr_mc::CheckError::StateLimit { .. }) => {
+            Err(e) => {
                 panic!("FILTER exploration exceeded the state budget: {e}")
             }
         }
@@ -1003,7 +1003,7 @@ pub mod spec {
         match checker(params, participants, sessions).check(combined_invariant) {
             Ok(stats) => Ok(stats),
             Err(llr_mc::CheckError::Violation(v)) => Err(v),
-            Err(e @ llr_mc::CheckError::StateLimit { .. }) => {
+            Err(e) => {
                 panic!("FILTER exploration exceeded the state budget: {e}")
             }
         }

@@ -325,7 +325,7 @@ pub mod spec {
         match checker(k, pids).check(unique_names_invariant) {
             Ok(stats) => Ok(stats),
             Err(llr_mc::CheckError::Violation(v)) => Err(v),
-            Err(e @ llr_mc::CheckError::StateLimit { .. }) => {
+            Err(e) => {
                 panic!("one-time exploration exceeded the state budget: {e}")
             }
         }

@@ -503,7 +503,7 @@ pub mod spec {
         match checker(ell, sessions, init_last, init_a1, init_a2).check(output_set_invariant) {
             Ok(stats) => Ok(stats),
             Err(llr_mc::CheckError::Violation(v)) => Err(v),
-            Err(e @ llr_mc::CheckError::StateLimit { .. }) => {
+            Err(e) => {
                 panic!("splitter exploration should be small: {e}")
             }
         }

@@ -439,7 +439,7 @@ pub mod spec {
         match checker(s, participants, sessions).check(root_exclusion) {
             Ok(stats) => Ok(stats),
             Err(llr_mc::CheckError::Violation(v)) => Err(v),
-            Err(e @ llr_mc::CheckError::StateLimit { .. }) => {
+            Err(e) => {
                 panic!("tournament exploration exceeded the state budget: {e}")
             }
         }

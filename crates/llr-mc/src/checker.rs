@@ -8,10 +8,12 @@
 //! memory-lean dedup mode.
 
 use crate::rng::SplitMix64;
+use crate::spill::SpillConfig;
 use crate::StepMachine;
 use llr_mem::{Layout, SimMemory, Word};
 use std::collections::HashSet;
 use std::fmt;
+use std::path::PathBuf;
 
 /// A read-only view of one global state, handed to invariant closures.
 #[derive(Debug)]
@@ -47,6 +49,20 @@ pub struct CheckStats {
     pub max_depth: usize,
     /// States in which every machine was done.
     pub terminal_states: u64,
+    /// Peak tracked bytes resident in the engine's own data structures
+    /// (visited set, frontier materializations, spanning-tree parents).
+    ///
+    /// Only the parallel frontier engines account for this
+    /// ([`ModelChecker::check_parallel`], with or without spilling); the
+    /// sequential DFS reports `0`. The figure is a deterministic lower
+    /// bound on real memory use: it counts payload bytes and ignores
+    /// allocator and hash-table overhead, so it is reproducible across
+    /// hosts (unlike an RSS sample) and is what the E2 table records.
+    pub peak_resident_bytes: u64,
+    /// Total bytes written to disk by the spilling visited set
+    /// ([`ModelChecker::spill_dir`]), including compaction rewrites.
+    /// `0` for the purely in-RAM engines.
+    pub spilled_bytes: u64,
 }
 
 impl CheckStats {
@@ -104,6 +120,9 @@ pub enum CheckError {
         /// The configured maximum number of states.
         limit: usize,
     },
+    /// The spilling visited set ([`ModelChecker::spill_dir`]) hit an I/O
+    /// error; the exploration is incomplete and nothing was proven.
+    Io(std::io::Error),
 }
 
 impl fmt::Display for CheckError {
@@ -113,24 +132,33 @@ impl fmt::Display for CheckError {
             CheckError::StateLimit { limit } => {
                 write!(f, "state limit of {limit} states exceeded")
             }
+            CheckError::Io(e) => write!(f, "spill I/O error: {e}"),
         }
+    }
+}
+
+impl From<std::io::Error> for CheckError {
+    fn from(e: std::io::Error) -> Self {
+        CheckError::Io(e)
     }
 }
 
 impl std::error::Error for CheckError {}
 
 impl CheckError {
-    /// Returns the violation, panicking on a state-limit error.
+    /// Returns the violation, panicking on any other error.
     ///
     /// # Panics
     ///
-    /// Panics if this error is [`CheckError::StateLimit`].
+    /// Panics if this error is [`CheckError::StateLimit`] or
+    /// [`CheckError::Io`].
     pub fn unwrap_violation(self) -> Box<Violation> {
         match self {
             CheckError::Violation(v) => v,
             CheckError::StateLimit { limit } => {
                 panic!("expected a violation but hit the state limit ({limit})")
             }
+            CheckError::Io(e) => panic!("expected a violation but hit an I/O error: {e}"),
         }
     }
 }
@@ -267,6 +295,7 @@ pub struct ModelChecker<M> {
     hashed_dedup: bool,
     symmetry: bool,
     workers: usize,
+    spill: Option<SpillConfig>,
 }
 
 impl<M: StepMachine> ModelChecker<M> {
@@ -280,6 +309,7 @@ impl<M: StepMachine> ModelChecker<M> {
             hashed_dedup: false,
             symmetry: false,
             workers: 1,
+            spill: None,
         }
     }
 
@@ -319,6 +349,73 @@ impl<M: StepMachine> ModelChecker<M> {
     /// future pid-normalizing specs.
     pub fn symmetry_reduction(mut self, on: bool) -> Self {
         self.symmetry = on;
+        self
+    }
+
+    /// Spill the visited set to sorted runs on disk under `dir`, keeping
+    /// at most `budget_bytes` of not-yet-flushed state hashes in RAM.
+    ///
+    /// This selects the external-memory backend of
+    /// [`check_parallel`](Self::check_parallel) (the `spill` module):
+    /// dedup is by 128-bit state hash (as if
+    /// [`hashed_dedup`](Self::hashed_dedup) were set), recently
+    /// discovered hashes stay in an in-RAM delta, and whenever the delta
+    /// exceeds the budget it is flushed as one sorted run per shard.
+    /// Every layer's candidate states are merge-joined against the
+    /// on-disk runs, so states, transitions, terminal counts and any
+    /// violation (message *and* schedule) are **bit-for-bit identical**
+    /// to the in-RAM engines at every worker count — only the memory
+    /// ceiling moves. A unique subdirectory is created under `dir` and
+    /// removed when the exploration finishes.
+    ///
+    /// The budget governs the visited-set delta (the structure that
+    /// grows with *total* states); the current BFS frontier and the
+    /// spanning-tree parents remain in RAM and are reported via
+    /// [`CheckStats::peak_resident_bytes`].
+    ///
+    /// Ignored by [`check`](Self::check) (sequential DFS) and by
+    /// [`check_always_terminable`](Self::check_always_terminable), which
+    /// needs the full edge list in RAM anyway.
+    ///
+    /// # Example
+    ///
+    /// A zero budget clamps to the 64 KiB flush floor and still
+    /// reproduces the in-RAM counts exactly:
+    ///
+    /// ```
+    /// use llr_mc::{MachineStatus, ModelChecker, StepMachine};
+    /// use llr_mem::{Layout, Loc, Memory};
+    ///
+    /// #[derive(Clone)]
+    /// struct Count { x: Loc, left: u8 }
+    /// impl StepMachine for Count {
+    ///     fn step(&mut self, mem: &dyn Memory) -> MachineStatus {
+    ///         mem.write(self.x, self.left as u64);
+    ///         self.left -= 1;
+    ///         if self.left == 0 { MachineStatus::Done } else { MachineStatus::Running }
+    ///     }
+    ///     fn key(&self, out: &mut Vec<u64>) { out.push(self.left as u64); }
+    ///     fn describe(&self) -> String { format!("left={}", self.left) }
+    /// }
+    ///
+    /// let mut layout = Layout::new();
+    /// let x = layout.scalar("X", 0);
+    /// let machines = vec![Count { x, left: 3 }, Count { x, left: 3 }];
+    /// let in_ram = ModelChecker::new(layout.clone(), machines.clone())
+    ///     .check_parallel(|_| Ok(()))
+    ///     .unwrap();
+    /// let spilled = ModelChecker::new(layout, machines)
+    ///     .spill_dir(std::env::temp_dir(), 0)
+    ///     .check_parallel(|_| Ok(()))
+    ///     .unwrap();
+    /// assert_eq!(spilled.states, in_ram.states);
+    /// assert_eq!(spilled.transitions, in_ram.transitions);
+    /// ```
+    pub fn spill_dir(mut self, dir: impl Into<PathBuf>, budget_bytes: usize) -> Self {
+        self.spill = Some(SpillConfig {
+            dir: dir.into(),
+            budget_bytes,
+        });
         self
     }
 
@@ -368,11 +465,16 @@ impl<M: StepMachine> ModelChecker<M> {
         self.symmetry
     }
 
+    /// The spill configuration, if the external-memory backend is on.
+    pub(crate) fn spill_config(&self) -> Option<&SpillConfig> {
+        self.spill.as_ref()
+    }
+
     /// Exhaustively explores the state space depth-first, checking
     /// `invariant` in every reachable state (including the initial one).
     ///
     /// The hot path is allocation-free: state keys are built in a reusable
-    /// [`KeyBuilder`], only one machine is cloned per transition, and
+    /// `KeyBuilder`, only one machine is cloned per transition, and
     /// popped DFS frames are pooled and recycled. Exact dedup allocates
     /// once per *distinct* state (the owned key); hashed dedup
     /// ([`hashed_dedup`](Self::hashed_dedup)) stores a 16-byte hash

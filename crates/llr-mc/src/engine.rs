@@ -2,7 +2,8 @@
 //!
 //! The engine expands the reachable state space one breadth-first layer at
 //! a time. Within a layer, `std::thread::scope` workers each expand a
-//! contiguous chunk of the frontier:
+//! contiguous chunk of the frontier ([`expand_layer`], also reused by the
+//! external-memory backend in [`crate::spill`]):
 //!
 //! * the **frozen** visited set (all states discovered in earlier layers)
 //!   is a plain sharded `HashMap` read lock-free by every worker — it is
@@ -23,20 +24,31 @@
 //! The same engine builds the liveness graph: with edge recording on,
 //! every transition is reported as a `(from, to)` id pair, which
 //! [`crate::liveness`] consumes for its backward reachability marking.
+//!
+//! Exploration is instrumented with deterministic memory accounting: the
+//! engine tracks the payload bytes of its own structures (visited set,
+//! frontier materializations, pending entries, spanning-tree parents) and
+//! reports the per-layer peak as
+//! [`CheckStats::peak_resident_bytes`](crate::CheckStats::peak_resident_bytes).
 
 use crate::checker::{hash128, CheckError, CheckStats, KeyBuilder, ModelChecker, Violation, World};
 use crate::StepMachine;
-use llr_mem::{SimMemory, Word};
+use llr_mem::{Memory as _, SimMemory, Word};
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::Mutex;
 
 /// Shard count for both the frozen and pending maps. Power of two so the
 /// shard index is a bit slice of the 128-bit state hash.
-const SHARDS: usize = 64;
+pub(crate) const SHARDS: usize = 64;
+
+/// Approximate per-entry overhead of a pending-map slot (the [`Pend`]
+/// record plus map bookkeeping), used by the deterministic memory
+/// accounting. The state key's own payload bytes are counted separately.
+pub(crate) const PEND_OVERHEAD_BYTES: u64 = 32;
 
 #[inline]
-fn shard_of(h: u128) -> usize {
+pub(crate) fn shard_of(h: u128) -> usize {
     (h >> 122) as usize & (SHARDS - 1)
 }
 
@@ -49,6 +61,8 @@ pub(crate) trait EngineKey: Eq + Hash + Send + Sync + Sized {
     fn find<V: Copy>(map: &HashMap<Self, V>, buf: &[u64], h: u128) -> Option<V>;
     fn find_mut<'m, V>(map: &'m mut HashMap<Self, V>, buf: &[u64], h: u128)
         -> Option<&'m mut V>;
+    /// Payload bytes of one stored key (for the resident-bytes accounting).
+    fn bytes(&self) -> u64;
 }
 
 impl EngineKey for Box<[u64]> {
@@ -64,6 +78,9 @@ impl EngineKey for Box<[u64]> {
         _h: u128,
     ) -> Option<&'m mut V> {
         map.get_mut(buf)
+    }
+    fn bytes(&self) -> u64 {
+        (self.len() * 8) as u64
     }
 }
 
@@ -81,41 +98,44 @@ impl EngineKey for u128 {
     ) -> Option<&'m mut V> {
         map.get_mut(&h)
     }
+    fn bytes(&self) -> u64 {
+        16
+    }
 }
 
 /// A fully materialized frontier state.
-struct FrontierState<M> {
-    snap: Vec<Word>,
-    machines: Vec<M>,
-    done: Vec<bool>,
+pub(crate) struct FrontierState<M> {
+    pub(crate) snap: Vec<Word>,
+    pub(crate) machines: Vec<M>,
+    pub(crate) done: Vec<bool>,
     /// Global state id (assigned sequentially in deterministic order).
-    id: u32,
+    pub(crate) id: u32,
 }
 
 /// A state discovered in the current layer, not yet assigned an id.
-struct Pend {
+pub(crate) struct Pend {
     /// Worker that materialized the state...
-    worker: u32,
+    pub(crate) worker: u32,
     /// ...and the index into that worker's `fresh` vector.
-    idx: u32,
+    pub(crate) idx: u32,
     /// Schedule-least discovering edge (min-merged across rediscoveries).
-    parent: u32,
-    via: u8,
+    pub(crate) parent: u32,
+    pub(crate) via: u8,
     /// State hash, kept so promotion to frozen recomputes nothing.
-    h: u128,
+    pub(crate) h: u128,
 }
 
-enum EdgeTo {
+pub(crate) enum EdgeTo {
     /// Successor was already frozen with this id.
     Known(u32),
     /// Successor is pending: `(worker, idx)` names its materialization.
     Fresh(u32, u32),
 }
 
-struct WorkerOut<M> {
-    fresh: Vec<Option<FrontierState<M>>>,
-    transitions: u64,
-    edges: Vec<(u32, EdgeTo)>,
+pub(crate) struct WorkerOut<M> {
+    pub(crate) fresh: Vec<Option<FrontierState<M>>>,
+    pub(crate) transitions: u64,
+    pub(crate) edges: Vec<(u32, EdgeTo)>,
 }
 
 /// The engine's result: exploration stats plus the spanning-tree parent
@@ -140,6 +160,155 @@ pub(crate) fn schedule_to(parent: &[(u32, u8)], mut id: u32) -> Vec<usize> {
     }
     schedule.reverse();
     schedule
+}
+
+/// Expands one breadth-first layer over `workers` scoped threads.
+///
+/// Every frontier state's every runnable machine is stepped once.
+/// Successors are looked up in the frozen set via `frozen_find` (which
+/// returns the frozen id, used only for edge recording — the in-RAM
+/// engine passes a sharded-map lookup, the spill engine a membership
+/// test over its in-RAM delta); unknown successors are materialized and
+/// min-merged into the `pending` shards.
+///
+/// This is the only concurrent phase of either backend; everything the
+/// caller does afterwards (draining `pending` in `(parent, via)` order)
+/// is sequential and deterministic.
+pub(crate) fn expand_layer<M, K, L>(
+    frontier: &[FrontierState<M>],
+    pending: &[Mutex<HashMap<K, Pend>>],
+    workers: usize,
+    symmetry: bool,
+    record_edges: bool,
+    frozen_find: &L,
+) -> Vec<WorkerOut<M>>
+where
+    M: StepMachine + Send + Sync,
+    K: EngineKey,
+    L: Fn(&[u64], u128) -> Option<u32> + Sync,
+{
+    let nw = workers.clamp(1, frontier.len());
+    let chunk = frontier.len().div_ceil(nw);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..nw)
+            .map(|w| {
+                s.spawn(move || {
+                    // ceil-division chunking can leave trailing workers
+                    // with an empty (clamped) range.
+                    let lo = (w * chunk).min(frontier.len());
+                    let hi = (lo + chunk).min(frontier.len());
+                    let mut out = WorkerOut {
+                        fresh: Vec::new(),
+                        transitions: 0,
+                        edges: Vec::new(),
+                    };
+                    if lo >= hi {
+                        return out;
+                    }
+                    let mut kb = KeyBuilder::default();
+                    // Worker-private register file, restored per state.
+                    let wmem = SimMemory::with_values(&frontier[lo].snap);
+                    for st in &frontier[lo..hi] {
+                        for i in 0..st.machines.len() {
+                            if st.done[i] {
+                                continue;
+                            }
+                            wmem.restore(&st.snap);
+                            let mut mi = st.machines[i].clone();
+                            let done_i = mi.step(&wmem).is_done();
+                            out.transitions += 1;
+                            let kbuf = kb.build(
+                                &wmem,
+                                &st.machines,
+                                &st.done,
+                                Some((i, &mi, done_i)),
+                                symmetry,
+                            );
+                            let h = hash128(kbuf);
+                            let sh = shard_of(h);
+                            if let Some(id) = frozen_find(kbuf, h) {
+                                if record_edges {
+                                    out.edges.push((st.id, EdgeTo::Known(id)));
+                                }
+                                continue;
+                            }
+                            // First lock: min-merge if some worker already
+                            // materialized this state this layer.
+                            let hit = {
+                                let mut g = pending[sh].lock().expect("shard poisoned");
+                                if let Some(p) = K::find_mut(&mut g, kbuf, h) {
+                                    if (st.id, i as u8) < (p.parent, p.via) {
+                                        p.parent = st.id;
+                                        p.via = i as u8;
+                                    }
+                                    Some((p.worker, p.idx))
+                                } else {
+                                    None
+                                }
+                            };
+                            let (w2, idx2) = match hit {
+                                Some(wi) => wi,
+                                None => {
+                                    // Materialize outside the lock, then
+                                    // double-check: another worker may have
+                                    // inserted the same state meanwhile.
+                                    let mut machines = st.machines.clone();
+                                    machines[i] = mi;
+                                    let mut done = st.done.clone();
+                                    done[i] = done_i;
+                                    let snap = wmem.snapshot();
+                                    let mut g =
+                                        pending[sh].lock().expect("shard poisoned");
+                                    if let Some(p) = K::find_mut(&mut g, kbuf, h) {
+                                        if (st.id, i as u8) < (p.parent, p.via) {
+                                            p.parent = st.id;
+                                            p.via = i as u8;
+                                        }
+                                        (p.worker, p.idx)
+                                    } else {
+                                        let idx = out.fresh.len() as u32;
+                                        g.insert(
+                                            K::make(kbuf, h),
+                                            Pend {
+                                                worker: w as u32,
+                                                idx,
+                                                parent: st.id,
+                                                via: i as u8,
+                                                h,
+                                            },
+                                        );
+                                        drop(g);
+                                        out.fresh.push(Some(FrontierState {
+                                            snap,
+                                            machines,
+                                            done,
+                                            id: u32::MAX,
+                                        }));
+                                        (w as u32, idx)
+                                    }
+                                }
+                            };
+                            if record_edges {
+                                out.edges.push((st.id, EdgeTo::Fresh(w2, idx2)));
+                            }
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("an exploration worker panicked"))
+            .collect()
+    })
+}
+
+/// Per-frontier-state payload bytes: one register-file snapshot, the
+/// machine vector and the done flags. Used by the deterministic memory
+/// accounting of both parallel backends.
+pub(crate) fn frontier_state_bytes<M>(words: usize, machines: usize) -> u64 {
+    (words * 8 + machines * std::mem::size_of::<M>() + machines) as u64
 }
 
 /// Breadth-first exploration of the full state space over `workers`
@@ -170,6 +339,7 @@ where
         machines0.len() < u8::MAX as usize,
         "the frontier engine supports at most 254 machines"
     );
+    let per_state = frontier_state_bytes::<M>(mem.len(), machines0.len());
     let done0 = vec![false; machines0.len()];
 
     let mut stats = CheckStats::default();
@@ -177,12 +347,16 @@ where
     let mut parent: Vec<(u32, u8)> = vec![(u32::MAX, 0)];
     let mut terminal: Vec<bool> = Vec::new();
     let mut edges: Vec<(u32, u32)> = Vec::new();
+    // Running payload bytes of the frozen visited set.
+    let mut visited_bytes: u64 = 0;
 
     {
         let mut kb = KeyBuilder::default();
         let key0 = kb.build(&mem, &machines0, &done0, None, symmetry);
         let h0 = hash128(key0);
-        frozen[shard_of(h0)].insert(K::make(key0, h0), 0);
+        let k0 = K::make(key0, h0);
+        visited_bytes += k0.bytes() + 4;
+        frozen[shard_of(h0)].insert(k0, 0);
     }
     stats.states = 1;
     terminal.push(done0.iter().all(|&d| d));
@@ -215,129 +389,14 @@ where
     let check_mem = SimMemory::new(&layout);
 
     while !frontier.is_empty() {
-        let nw = workers.clamp(1, frontier.len());
-        let chunk = frontier.len().div_ceil(nw);
         let pending: Vec<Mutex<HashMap<K, Pend>>> =
             (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect();
-        let frontier_ref = &frontier;
         let frozen_ref = &frozen;
-        let pending_ref = &pending;
-
-        let mut outs: Vec<WorkerOut<M>> = std::thread::scope(|s| {
-            let handles: Vec<_> = (0..nw)
-                .map(|w| {
-                    s.spawn(move || {
-                        // ceil-division chunking can leave trailing workers
-                        // with an empty (clamped) range.
-                        let lo = (w * chunk).min(frontier_ref.len());
-                        let hi = (lo + chunk).min(frontier_ref.len());
-                        let mut out = WorkerOut {
-                            fresh: Vec::new(),
-                            transitions: 0,
-                            edges: Vec::new(),
-                        };
-                        if lo >= hi {
-                            return out;
-                        }
-                        let mut kb = KeyBuilder::default();
-                        // Worker-private register file, restored per state.
-                        let wmem = SimMemory::with_values(&frontier_ref[lo].snap);
-                        for st in &frontier_ref[lo..hi] {
-                            for i in 0..st.machines.len() {
-                                if st.done[i] {
-                                    continue;
-                                }
-                                wmem.restore(&st.snap);
-                                let mut mi = st.machines[i].clone();
-                                let done_i = mi.step(&wmem).is_done();
-                                out.transitions += 1;
-                                let kbuf = kb.build(
-                                    &wmem,
-                                    &st.machines,
-                                    &st.done,
-                                    Some((i, &mi, done_i)),
-                                    symmetry,
-                                );
-                                let h = hash128(kbuf);
-                                let sh = shard_of(h);
-                                if let Some(id) = K::find(&frozen_ref[sh], kbuf, h) {
-                                    if record_edges {
-                                        out.edges.push((st.id, EdgeTo::Known(id)));
-                                    }
-                                    continue;
-                                }
-                                // First lock: min-merge if some worker already
-                                // materialized this state this layer.
-                                let hit = {
-                                    let mut g = pending_ref[sh].lock().expect("shard poisoned");
-                                    if let Some(p) = K::find_mut(&mut g, kbuf, h) {
-                                        if (st.id, i as u8) < (p.parent, p.via) {
-                                            p.parent = st.id;
-                                            p.via = i as u8;
-                                        }
-                                        Some((p.worker, p.idx))
-                                    } else {
-                                        None
-                                    }
-                                };
-                                let (w2, idx2) = match hit {
-                                    Some(wi) => wi,
-                                    None => {
-                                        // Materialize outside the lock, then
-                                        // double-check: another worker may have
-                                        // inserted the same state meanwhile.
-                                        let mut machines = st.machines.clone();
-                                        machines[i] = mi;
-                                        let mut done = st.done.clone();
-                                        done[i] = done_i;
-                                        let snap = wmem.snapshot();
-                                        let mut g =
-                                            pending_ref[sh].lock().expect("shard poisoned");
-                                        if let Some(p) = K::find_mut(&mut g, kbuf, h) {
-                                            if (st.id, i as u8) < (p.parent, p.via) {
-                                                p.parent = st.id;
-                                                p.via = i as u8;
-                                            }
-                                            (p.worker, p.idx)
-                                        } else {
-                                            let idx = out.fresh.len() as u32;
-                                            g.insert(
-                                                K::make(kbuf, h),
-                                                Pend {
-                                                    worker: w as u32,
-                                                    idx,
-                                                    parent: st.id,
-                                                    via: i as u8,
-                                                    h,
-                                                },
-                                            );
-                                            drop(g);
-                                            out.fresh.push(Some(FrontierState {
-                                                snap,
-                                                machines,
-                                                done,
-                                                id: u32::MAX,
-                                            }));
-                                            (w as u32, idx)
-                                        }
-                                    }
-                                };
-                                if record_edges {
-                                    out.edges.push((st.id, EdgeTo::Fresh(w2, idx2)));
-                                }
-                            }
-                        }
-                        out
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("an exploration worker panicked"))
-                .collect()
-        });
+        let find = |buf: &[u64], h: u128| K::find(&frozen_ref[shard_of(h)], buf, h);
+        let mut outs = expand_layer(&frontier, &pending, workers, symmetry, record_edges, &find);
 
         stats.transitions += outs.iter().map(|o| o.transitions).sum::<u64>();
+        let materialized: usize = outs.iter().map(|o| o.fresh.len()).sum();
 
         // Phase B (sequential): drain pending in deterministic order.
         let mut discovered: Vec<(K, Pend)> = Vec::new();
@@ -349,6 +408,7 @@ where
         // parent/machine pair can produce only one successor — hence this
         // order is total and worker-independent.
         discovered.sort_unstable_by_key(|(_, p)| (p.parent, p.via));
+        let fresh_n = discovered.len() as u64;
 
         // `assigned[w][idx]` maps a worker-local fresh slot to its global id.
         let mut assigned: Vec<Vec<u32>> =
@@ -363,6 +423,7 @@ where
                     limit: mc.state_limit(),
                 });
             }
+            visited_bytes += k.bytes() + 4;
             frozen[shard_of(p.h)].insert(k, id);
             assigned[p.worker as usize][p.idx as usize] = id;
             let mut st = outs[p.worker as usize].fresh[p.idx as usize]
@@ -394,6 +455,16 @@ where
             }
             next_frontier.push(st);
         }
+
+        // Deterministic per-layer resident footprint: visited set, the
+        // expanded frontier plus every state materialized this layer,
+        // the pending-map entries, and the spanning-tree arrays.
+        let resident = visited_bytes
+            + (frontier.len() + materialized) as u64 * per_state
+            + fresh_n * PEND_OVERHEAD_BYTES
+            + parent.len() as u64 * 8
+            + terminal.len() as u64;
+        stats.peak_resident_bytes = stats.peak_resident_bytes.max(resident);
 
         if record_edges {
             for out in &outs {
@@ -433,17 +504,57 @@ impl<M: StepMachine + Send + Sync> ModelChecker<M> {
     /// ids follow the layered `(parent, via)` order, and the first
     /// violating id's spanning-tree schedule is returned.
     ///
+    /// With [`spill_dir`](Self::spill_dir) configured, the visited set is
+    /// kept in sorted runs on disk (the `spill` module) and only a
+    /// bounded in-RAM delta is held; the reported counts and any
+    /// violation remain bit-for-bit identical.
+    ///
     /// # Errors
     ///
     /// Returns [`CheckError::Violation`] with a replayable schedule if the
-    /// invariant fails, or [`CheckError::StateLimit`] if the configured
-    /// state bound is exceeded before the search completes.
+    /// invariant fails, [`CheckError::StateLimit`] if the configured
+    /// state bound is exceeded before the search completes, or
+    /// [`CheckError::Io`] if the spill backend hits an I/O error.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use llr_mc::{MachineStatus, ModelChecker, StepMachine};
+    /// use llr_mem::{Layout, Loc, Memory};
+    ///
+    /// #[derive(Clone)]
+    /// struct Count { x: Loc, left: u8 }
+    /// impl StepMachine for Count {
+    ///     fn step(&mut self, mem: &dyn Memory) -> MachineStatus {
+    ///         mem.write(self.x, self.left as u64);
+    ///         self.left -= 1;
+    ///         if self.left == 0 { MachineStatus::Done } else { MachineStatus::Running }
+    ///     }
+    ///     fn key(&self, out: &mut Vec<u64>) { out.push(self.left as u64); }
+    ///     fn describe(&self) -> String { format!("left={}", self.left) }
+    /// }
+    ///
+    /// let mut layout = Layout::new();
+    /// let x = layout.scalar("X", 0);
+    /// let machines = vec![Count { x, left: 2 }, Count { x, left: 2 }];
+    /// let seq = ModelChecker::new(layout.clone(), machines.clone())
+    ///     .check(|_| Ok(()))
+    ///     .unwrap();
+    /// let par = ModelChecker::new(layout, machines)
+    ///     .workers(2)
+    ///     .check_parallel(|_| Ok(()))
+    ///     .unwrap();
+    /// assert_eq!(par.states, seq.states); // engines agree exactly
+    /// assert_eq!(par.transitions, seq.transitions);
+    /// ```
     pub fn check_parallel<F>(&self, invariant: F) -> Result<CheckStats, CheckError>
     where
         F: Fn(&World<'_, M>) -> Result<(), String>,
     {
         let workers = self.resolved_workers();
-        if self.hashed() {
+        if self.spill_config().is_some() {
+            crate::spill::explore_spilled(self, &invariant, workers).map(|e| e.stats)
+        } else if self.hashed() {
             explore::<M, F, u128>(self, &invariant, workers, false).map(|e| e.stats)
         } else {
             explore::<M, F, Box<[u64]>>(self, &invariant, workers, false).map(|e| e.stats)

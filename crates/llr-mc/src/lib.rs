@@ -71,12 +71,26 @@
 //! });
 //! assert!(result.is_err()); // the classic race is found
 //! ```
+//!
+//! # Engines
+//!
+//! Three interchangeable exploration backends, all visiting the same
+//! states and reporting identical counts and violations:
+//!
+//! | backend | selected by | visited set |
+//! |---|---|---|
+//! | sequential DFS | [`ModelChecker::check`] | in RAM, exact or hashed keys |
+//! | parallel BFS | [`ModelChecker::check_parallel`] | in RAM, sharded |
+//! | external-memory BFS | `check_parallel` + [`ModelChecker::spill_dir`] | bounded in-RAM delta + sorted runs on disk |
+
+#![warn(missing_docs)]
 
 mod checker;
 mod engine;
 mod liveness;
 mod machine;
 mod rng;
+mod spill;
 
 pub use checker::{CheckError, CheckStats, ModelChecker, Violation, World};
 pub use liveness::LivenessStats;

@@ -15,13 +15,18 @@
 //!
 //! The graph is built by the same parallel frontier engine as
 //! [`ModelChecker::check_parallel`] (with edge recording on), so the
-//! forward pass scales over [`ModelChecker::workers`] threads; only the
-//! backward marking is sequential. Edges are stored as flat `u32` index
-//! pairs; the configurations we check have up to a few million states.
+//! forward pass scales over [`ModelChecker::workers`] threads. The
+//! backward marking runs layer-parallel over the same worker count: the
+//! reversed edges are packed into a CSR adjacency (one offset array, one
+//! flat predecessor array — no per-state `Vec`s), and each backward
+//! layer is swept concurrently with atomic-swap claiming so every state
+//! is enqueued exactly once. Edges are stored as flat `u32` index pairs;
+//! the configurations we check have up to a few million states.
 
 use crate::checker::{CheckError, CheckStats, ModelChecker, Violation};
 use crate::engine::{explore, schedule_to};
 use crate::StepMachine;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Result of a [`ModelChecker::check_always_terminable`] run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -49,10 +54,11 @@ impl<M: StepMachine + Send + Sync> ModelChecker<M> {
     /// terminal state (every machine done) is reachable **from every
     /// reachable state**.
     ///
-    /// The forward graph construction runs on the parallel frontier
-    /// engine over [`workers`](Self::workers) threads (state ids, and
-    /// hence the reported trap, are deterministic for every worker
-    /// count); the backward marking is sequential.
+    /// Both passes run over [`workers`](Self::workers) threads: the
+    /// forward graph construction on the parallel frontier engine, and
+    /// the backward marking as a layered sweep over the reversed-edge
+    /// CSR adjacency. State ids, the set of trap states, and hence the
+    /// reported trap are deterministic for every worker count.
     ///
     /// # Errors
     ///
@@ -65,6 +71,33 @@ impl<M: StepMachine + Send + Sync> ModelChecker<M> {
     ///
     /// Panics if the state graph exceeds `u32::MAX` states (far beyond
     /// the configured limits).
+    ///
+    /// # Example
+    ///
+    /// Two straight-line writers can always finish from anywhere:
+    ///
+    /// ```
+    /// use llr_mc::{MachineStatus, ModelChecker, StepMachine};
+    /// use llr_mem::{Layout, Loc, Memory};
+    ///
+    /// #[derive(Clone)]
+    /// struct Count { x: Loc, left: u8 }
+    /// impl StepMachine for Count {
+    ///     fn step(&mut self, mem: &dyn Memory) -> MachineStatus {
+    ///         mem.write(self.x, self.left as u64);
+    ///         self.left -= 1;
+    ///         if self.left == 0 { MachineStatus::Done } else { MachineStatus::Running }
+    ///     }
+    ///     fn key(&self, out: &mut Vec<u64>) { out.push(self.left as u64); }
+    ///     fn describe(&self) -> String { format!("left={}", self.left) }
+    /// }
+    ///
+    /// let mut layout = Layout::new();
+    /// let x = layout.scalar("X", 0);
+    /// let mc = ModelChecker::new(layout, vec![Count { x, left: 2 }, Count { x, left: 2 }]);
+    /// let stats = mc.check_always_terminable().unwrap();
+    /// assert_eq!(stats.terminal_states, 1); // both done, X settled
+    /// ```
     pub fn check_always_terminable(&self) -> Result<LivenessStats, CheckError> {
         let workers = self.resolved_workers();
         let ok = |_: &crate::World<'_, M>| Ok(());
@@ -74,30 +107,75 @@ impl<M: StepMachine + Send + Sync> ModelChecker<M> {
             explore::<M, _, Box<[u64]>>(self, &ok, workers, true)?
         };
 
-        // Backward marking from terminal states over reversed edges.
+        // Backward marking from terminal states over reversed edges,
+        // layer-parallel like the forward pass. The reversed graph is
+        // packed into CSR form (offset + flat predecessor arrays), then
+        // each backward layer is swept over the worker pool: a worker
+        // claims an unmarked predecessor with an atomic swap, so every
+        // state enters the next frontier exactly once. The *set* marked
+        // per layer is schedule-independent, hence the first unmarked id
+        // (the reported trap) is deterministic for every worker count.
         let n = explored.stats.states as usize;
-        let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut off: Vec<u32> = vec![0; n + 1];
+        for &(_, to) in &explored.edges {
+            off[to as usize + 1] += 1;
+        }
+        for i in 0..n {
+            off[i + 1] += off[i];
+        }
+        let mut cursor = off.clone();
+        let mut preds: Vec<u32> = vec![0; explored.edges.len()];
         for &(from, to) in &explored.edges {
-            preds[to as usize].push(from);
-        }
-        let mut can_finish = vec![false; n];
-        let mut queue: Vec<u32> = (0..n as u32)
-            .filter(|&i| explored.terminal[i as usize])
-            .collect();
-        let terminal_count = queue.len() as u64;
-        for &t in &queue {
-            can_finish[t as usize] = true;
-        }
-        while let Some(s) = queue.pop() {
-            for &p in &preds[s as usize] {
-                if !can_finish[p as usize] {
-                    can_finish[p as usize] = true;
-                    queue.push(p);
-                }
-            }
+            let c = &mut cursor[to as usize];
+            preds[*c as usize] = from;
+            *c += 1;
         }
 
-        if let Some(trap) = (0..n).find(|&i| !can_finish[i]) {
+        let can_finish: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+        let mut frontier: Vec<u32> = (0..n as u32)
+            .filter(|&i| explored.terminal[i as usize])
+            .collect();
+        let terminal_count = frontier.len() as u64;
+        for &t in &frontier {
+            can_finish[t as usize].store(true, Ordering::Relaxed);
+        }
+        while !frontier.is_empty() {
+            let nw = workers.clamp(1, frontier.len());
+            let chunk = frontier.len().div_ceil(nw);
+            let frontier_ref = &frontier;
+            let can_finish_ref = &can_finish;
+            let off_ref = &off;
+            let preds_ref = &preds;
+            frontier = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..nw)
+                    .map(|w| {
+                        s.spawn(move || {
+                            let lo = (w * chunk).min(frontier_ref.len());
+                            let hi = (lo + chunk).min(frontier_ref.len());
+                            let mut next = Vec::new();
+                            for &st in &frontier_ref[lo..hi] {
+                                let (a, b) =
+                                    (off_ref[st as usize], off_ref[st as usize + 1]);
+                                for &p in &preds_ref[a as usize..b as usize] {
+                                    if !can_finish_ref[p as usize]
+                                        .swap(true, Ordering::Relaxed)
+                                    {
+                                        next.push(p);
+                                    }
+                                }
+                            }
+                            next
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("a liveness worker panicked"))
+                    .collect()
+            });
+        }
+
+        if let Some(trap) = (0..n).find(|&i| !can_finish[i].load(Ordering::Relaxed)) {
             // Reconstruct the schedule into the trap via the engine's
             // spanning-tree parent pointers.
             let schedule = schedule_to(&explored.parent, trap as u32);
@@ -113,6 +191,7 @@ impl<M: StepMachine + Send + Sync> ModelChecker<M> {
                     transitions: explored.stats.transitions,
                     max_depth: explored.stats.max_depth,
                     terminal_states: terminal_count,
+                    ..explored.stats
                 },
             })));
         }

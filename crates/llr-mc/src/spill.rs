@@ -1,0 +1,472 @@
+//! External-memory exploration: a spill-to-disk visited set.
+//!
+//! The in-RAM frontier engine ([`crate::engine`]) holds every visited
+//! state hash in a sharded map for the whole run, so its ceiling is the
+//! host's memory. This backend lifts that ceiling with the classic
+//! external-BFS discipline — **sorted runs + per-layer merge joins** —
+//! while preserving the engine's exact counts and deterministic
+//! violation schedules bit-for-bit:
+//!
+//! * Dedup is by 128-bit state hash (the same [`hash128`] as
+//!   [`ModelChecker::hashed_dedup`]); hashes are partitioned into the
+//!   engine's 64 shards by their top bits.
+//! * Recently discovered hashes live in an **in-RAM delta** (one
+//!   `HashSet` per shard). Workers consult only this delta during layer
+//!   expansion — never the disk — so the concurrent phase stays
+//!   lock-free on the read side and does zero I/O.
+//! * When the delta exceeds the configured budget it is **flushed**:
+//!   each shard's hashes are sorted and appended as one immutable run
+//!   file. A shard accumulating too many runs is **compacted** by a
+//!   streaming k-way merge into a single run.
+//! * A state rediscovered after its hash was flushed is caught one layer
+//!   later: each layer's candidate states (the pending set, minus the
+//!   delta) are sorted per shard and **merge-joined against every run**
+//!   in one sequential pass per run file; candidates found on disk are
+//!   dropped before ids are assigned.
+//!
+//! Because the drop set is a pure membership fact, the surviving states,
+//! their `(parent, via)` id order, the invariant-check order and hence
+//! the first reported violation are identical to the in-RAM engines at
+//! every worker count and every budget — `tests/engine_equivalence.rs`
+//! pins this, including with a zero budget that forces runs out
+//! mid-layer.
+//!
+//! What stays in RAM regardless of budget: the current frontier (bounded
+//! by layer width, not total states), the per-layer pending set, and the
+//! spanning-tree parent array (5 packed bytes per state, needed to
+//! reconstruct violation schedules). The budget governs the visited-set
+//! delta — the only structure that grows with *total* states.
+//!
+//! ```text
+//!              layer expansion (parallel, no I/O)
+//!   frontier ──────────────────────────────────────► pending (64 shards)
+//!      ▲          miss in delta → materialize              │ drain,
+//!      │                                                   │ sort (parent,via)
+//!      │    delta (RAM, ≤ budget)   runs (disk, sorted)    ▼
+//!      │    ┌───────────────┐       ┌────┐┌────┐┌────┐   candidates
+//!      │    │ shard 0..63   │       │ r0 ││ r1 ││ r2 │ ──── sort per shard
+//!      │    └──────┬────────┘       └─┬──┘└─┬──┘└─┬──┘      │
+//!      │           │ flush when        └─────┴─────┴────────┤ merge-join:
+//!      │           │ over budget        (compact when >8)   │ drop hashes
+//!      │           ▼                                        ▼ found on disk
+//!      │      new sorted run                         survivors: assign ids,
+//!      │                                             check invariant,
+//!      └───────────────────────────────────────────── next frontier
+//! ```
+
+use crate::checker::{hash128, CheckError, CheckStats, KeyBuilder, ModelChecker, Violation, World};
+use crate::engine::{
+    expand_layer, frontier_state_bytes, schedule_to, shard_of, Explored, FrontierState, Pend,
+    PEND_OVERHEAD_BYTES, SHARDS,
+};
+use crate::StepMachine;
+use llr_mem::{Memory as _, SimMemory};
+use std::collections::{HashMap, HashSet};
+use std::fs::{self, File};
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Bytes per stored state hash.
+const HASH_BYTES: usize = 16;
+
+/// Flush granularity floor: the delta is flushed in chunks of at least
+/// this many bytes even when the configured budget is smaller, so a
+/// zero-byte test budget produces runs per layer instead of a file per
+/// state. Budgets below this floor are honored up to this granularity.
+const MIN_FLUSH_BYTES: usize = 64 * 1024;
+
+/// A shard exceeding this many runs is compacted into a single run.
+const MAX_RUNS_PER_SHARD: usize = 8;
+
+/// Buffered-reader capacity for streaming run files.
+const RUN_READ_BUF: usize = 1 << 20;
+
+/// Configuration carried by [`ModelChecker::spill_dir`].
+pub(crate) struct SpillConfig {
+    /// Parent directory for the per-run spill subdirectory.
+    pub dir: PathBuf,
+    /// In-RAM delta budget in bytes.
+    pub budget_bytes: usize,
+}
+
+/// Monotone counter so concurrent checkers in one process get distinct
+/// spill subdirectories.
+static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Sequential reader over one sorted run file.
+struct RunReader {
+    file: BufReader<File>,
+    /// Hashes still unread.
+    left: u64,
+}
+
+impl RunReader {
+    fn open(path: &PathBuf) -> io::Result<Self> {
+        let file = File::open(path)?;
+        let left = file.metadata()?.len() / HASH_BYTES as u64;
+        Ok(Self {
+            file: BufReader::with_capacity(RUN_READ_BUF, file),
+            left,
+        })
+    }
+
+    /// The next hash, or `None` at end of run.
+    fn next(&mut self) -> io::Result<Option<u128>> {
+        if self.left == 0 {
+            return Ok(None);
+        }
+        self.left -= 1;
+        let mut b = [0u8; HASH_BYTES];
+        self.file.read_exact(&mut b)?;
+        Ok(Some(u128::from_le_bytes(b)))
+    }
+}
+
+/// The sharded external visited set: an in-RAM delta plus sorted runs on
+/// disk. See the module docs for the discipline.
+struct SpillSet {
+    /// Unique subdirectory owning every run file; removed on drop.
+    dir: PathBuf,
+    /// Effective flush threshold (`budget.max(MIN_FLUSH_BYTES)`).
+    threshold: usize,
+    /// The in-RAM delta: hashes not yet flushed, sharded like the engine.
+    recent: Vec<HashSet<u128>>,
+    /// Payload bytes currently in the delta.
+    recent_bytes: usize,
+    /// Largest delta ever held (for the resident accounting).
+    peak_recent_bytes: u64,
+    /// Sorted, immutable, pairwise-disjoint run files per shard.
+    runs: Vec<Vec<PathBuf>>,
+    /// Total bytes ever written to disk (runs + compaction rewrites).
+    spilled_bytes: u64,
+    /// Fresh-file counter.
+    file_seq: u64,
+}
+
+impl SpillSet {
+    fn create(cfg: &SpillConfig) -> io::Result<Self> {
+        let unique = format!(
+            "llr-mc-spill-{}-{}",
+            std::process::id(),
+            SPILL_SEQ.fetch_add(1, Ordering::Relaxed)
+        );
+        let dir = cfg.dir.join(unique);
+        fs::create_dir_all(&dir)?;
+        Ok(Self {
+            dir,
+            threshold: cfg.budget_bytes.max(MIN_FLUSH_BYTES),
+            recent: (0..SHARDS).map(|_| HashSet::new()).collect(),
+            recent_bytes: 0,
+            peak_recent_bytes: 0,
+            runs: vec![Vec::new(); SHARDS],
+            spilled_bytes: 0,
+            file_seq: 0,
+        })
+    }
+
+    /// Whether `h` is in the in-RAM delta. This is the only lookup the
+    /// concurrent expansion phase performs (`&self`, no locks, no I/O);
+    /// hashes already flushed to disk are caught by [`probe_old`].
+    ///
+    /// [`probe_old`]: Self::probe_old
+    fn contains_recent(&self, h: u128) -> bool {
+        self.recent[shard_of(h)].contains(&h)
+    }
+
+    /// Inserts a genuinely fresh hash into the delta, flushing it to
+    /// disk if the budget is exceeded.
+    fn insert_fresh(&mut self, h: u128) -> io::Result<()> {
+        self.recent[shard_of(h)].insert(h);
+        self.recent_bytes += HASH_BYTES;
+        self.peak_recent_bytes = self.peak_recent_bytes.max(self.recent_bytes as u64);
+        if self.recent_bytes > self.threshold {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Writes every non-empty shard of the delta as one new sorted run
+    /// and empties the delta. Shards over [`MAX_RUNS_PER_SHARD`] are
+    /// compacted.
+    fn flush(&mut self) -> io::Result<()> {
+        for shard in 0..SHARDS {
+            if self.recent[shard].is_empty() {
+                continue;
+            }
+            let mut hashes: Vec<u128> = self.recent[shard].drain().collect();
+            hashes.sort_unstable();
+            let path = self.dir.join(format!("s{shard:02}-{}.run", self.file_seq));
+            self.file_seq += 1;
+            let mut w = BufWriter::new(File::create(&path)?);
+            for h in &hashes {
+                w.write_all(&h.to_le_bytes())?;
+            }
+            w.flush()?;
+            self.spilled_bytes += (hashes.len() * HASH_BYTES) as u64;
+            self.runs[shard].push(path);
+            if self.runs[shard].len() > MAX_RUNS_PER_SHARD {
+                self.compact(shard)?;
+            }
+        }
+        self.recent_bytes = 0;
+        Ok(())
+    }
+
+    /// Streaming k-way merge of all of `shard`'s runs into a single run.
+    /// Runs are pairwise disjoint (a hash is flushed exactly once), so
+    /// the merge is a plain interleave with no dedup.
+    fn compact(&mut self, shard: usize) -> io::Result<()> {
+        let old = std::mem::take(&mut self.runs[shard]);
+        let mut readers = Vec::with_capacity(old.len());
+        for p in &old {
+            readers.push(RunReader::open(p)?);
+        }
+        // (current hash, reader index) min-heap via sorted Vec scan —
+        // the fan-in is ≤ MAX_RUNS_PER_SHARD + 1, so a linear minimum
+        // beats heap bookkeeping.
+        let mut heads: Vec<Option<u128>> = Vec::with_capacity(readers.len());
+        for r in &mut readers {
+            heads.push(r.next()?);
+        }
+        let path = self.dir.join(format!("s{shard:02}-{}.run", self.file_seq));
+        self.file_seq += 1;
+        let mut w = BufWriter::new(File::create(&path)?);
+        loop {
+            let mut min: Option<(u128, usize)> = None;
+            for (i, head) in heads.iter().enumerate() {
+                if let Some(h) = head {
+                    if min.is_none_or(|(mh, _)| *h < mh) {
+                        min = Some((*h, i));
+                    }
+                }
+            }
+            let Some((h, i)) = min else { break };
+            w.write_all(&h.to_le_bytes())?;
+            self.spilled_bytes += HASH_BYTES as u64;
+            heads[i] = readers[i].next()?;
+        }
+        w.flush()?;
+        drop(readers);
+        for p in old {
+            fs::remove_file(p)?;
+        }
+        self.runs[shard] = vec![path];
+        Ok(())
+    }
+
+    /// Merge-joins this layer's candidate hashes against every on-disk
+    /// run and returns the subset that is already on disk (states
+    /// visited in an earlier, flushed layer).
+    ///
+    /// Candidates are sorted per shard; each run file is read once,
+    /// sequentially, with a two-pointer join. Shards with no runs or no
+    /// candidates cost nothing.
+    fn probe_old(&self, candidates: impl Iterator<Item = u128>) -> io::Result<HashSet<u128>> {
+        let mut by_shard: Vec<Vec<u128>> = vec![Vec::new(); SHARDS];
+        for h in candidates {
+            by_shard[shard_of(h)].push(h);
+        }
+        let mut old = HashSet::new();
+        for (shard, cands) in by_shard.iter_mut().enumerate() {
+            if cands.is_empty() || self.runs[shard].is_empty() {
+                continue;
+            }
+            cands.sort_unstable();
+            for path in &self.runs[shard] {
+                let mut r = RunReader::open(path)?;
+                let mut i = 0;
+                while i < cands.len() {
+                    let Some(h) = r.next()? else { break };
+                    while i < cands.len() && cands[i] < h {
+                        i += 1;
+                    }
+                    if i < cands.len() && cands[i] == h {
+                        old.insert(h);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        Ok(old)
+    }
+}
+
+impl Drop for SpillSet {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// Breadth-first exploration with the external-memory visited set.
+///
+/// Mirrors [`crate::engine::explore`] exactly — same worker expansion
+/// ([`expand_layer`]), same `(parent, via)` drain order, same invariant
+/// check order — but keeps only a budget-bounded delta of the visited
+/// set in RAM and merge-joins each layer's candidates against the
+/// on-disk runs instead of holding one map for the whole run. The
+/// difference is *when* a rediscovered state is recognized (one layer
+/// later, at the join), never *whether*: states, transitions, terminal
+/// counts and violation schedules are bit-for-bit those of the in-RAM
+/// engines.
+///
+/// Edge recording is not supported (liveness needs the full edge list in
+/// RAM anyway); callers reach this path only via
+/// [`ModelChecker::check_parallel`] with
+/// [`ModelChecker::spill_dir`] configured.
+pub(crate) fn explore_spilled<M, F>(
+    mc: &ModelChecker<M>,
+    invariant: &F,
+    workers: usize,
+) -> Result<Explored, CheckError>
+where
+    M: StepMachine + Send + Sync,
+    F: Fn(&World<'_, M>) -> Result<(), String>,
+{
+    let cfg = mc.spill_config().expect("spill backend selected without a config");
+    let mut spill = SpillSet::create(cfg)?;
+    let symmetry = mc.symmetry();
+    let layout = mc.initial_layout();
+    let mem = SimMemory::new(&layout);
+    let machines0 = mc.initial_machines().to_vec();
+    assert!(
+        machines0.len() < u8::MAX as usize,
+        "the frontier engine supports at most 254 machines"
+    );
+    let per_state = frontier_state_bytes::<M>(mem.len(), machines0.len());
+    let done0 = vec![false; machines0.len()];
+
+    let mut stats = CheckStats::default();
+    let mut parent: Vec<(u32, u8)> = vec![(u32::MAX, 0)];
+    let mut terminal: Vec<bool> = Vec::new();
+
+    {
+        let mut kb = KeyBuilder::default();
+        let key0 = kb.build(&mem, &machines0, &done0, None, symmetry);
+        spill.insert_fresh(hash128(key0))?;
+    }
+    stats.states = 1;
+    terminal.push(done0.iter().all(|&d| d));
+    if terminal[0] {
+        stats.terminal_states = 1;
+    }
+    {
+        let world = World {
+            mem: &mem,
+            machines: &machines0,
+            done: &done0,
+        };
+        if let Err(message) = invariant(&world) {
+            return Err(CheckError::Violation(Box::new(Violation {
+                message,
+                schedule: vec![],
+                trace: "(violated in the initial state)".into(),
+                stats,
+            })));
+        }
+    }
+
+    let mut frontier: Vec<FrontierState<M>> = vec![FrontierState {
+        snap: mem.snapshot(),
+        machines: machines0,
+        done: done0,
+        id: 0,
+    }];
+    let check_mem = SimMemory::new(&layout);
+
+    while !frontier.is_empty() {
+        let pending: Vec<Mutex<HashMap<u128, Pend>>> =
+            (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect();
+        // Workers filter against the in-RAM delta only (no I/O in the
+        // concurrent phase); flushed hashes are caught by the join
+        // below. The returned id is a placeholder — edge recording is
+        // off on this path.
+        let spill_ref = &spill;
+        let find = |_buf: &[u64], h: u128| spill_ref.contains_recent(h).then_some(0);
+        let mut outs = expand_layer(&frontier, &pending, workers, symmetry, false, &find);
+
+        stats.transitions += outs.iter().map(|o| o.transitions).sum::<u64>();
+        let materialized: usize = outs.iter().map(|o| o.fresh.len()).sum();
+
+        // Sequential phase: drain pending in deterministic order, then
+        // drop every candidate the disk already knows.
+        let mut discovered: Vec<(u128, Pend)> = Vec::new();
+        for shard in pending {
+            let map = shard.into_inner().expect("shard poisoned");
+            discovered.extend(map);
+        }
+        discovered.sort_unstable_by_key(|(_, p)| (p.parent, p.via));
+        let candidate_n = discovered.len() as u64;
+        let old = spill.probe_old(discovered.iter().map(|&(h, _)| h))?;
+
+        let mut next_frontier: Vec<FrontierState<M>> = Vec::new();
+        for (h, p) in discovered {
+            if old.contains(&h) {
+                // Visited in an earlier, already-flushed layer: the
+                // in-RAM engine would have skipped it at expansion time.
+                continue;
+            }
+            let id = u32::try_from(stats.states).expect("state ids exceed u32");
+            stats.states += 1;
+            if stats.states as usize > mc.state_limit() {
+                return Err(CheckError::StateLimit {
+                    limit: mc.state_limit(),
+                });
+            }
+            spill.insert_fresh(h)?;
+            let mut st = outs[p.worker as usize].fresh[p.idx as usize]
+                .take()
+                .expect("pending entry names a materialized state");
+            st.id = id;
+            parent.push((p.parent, p.via));
+            let term = st.done.iter().all(|&d| d);
+            terminal.push(term);
+            if term {
+                stats.terminal_states += 1;
+            }
+
+            check_mem.restore(&st.snap);
+            let world = World {
+                mem: &check_mem,
+                machines: &st.machines,
+                done: &st.done,
+            };
+            if let Err(message) = invariant(&world) {
+                let schedule = schedule_to(&parent, id);
+                let trace = mc.render_trace(&schedule);
+                stats.peak_resident_bytes = stats.peak_resident_bytes.max(spill.peak_recent_bytes);
+                stats.spilled_bytes = spill.spilled_bytes;
+                return Err(CheckError::Violation(Box::new(Violation {
+                    message,
+                    schedule,
+                    trace,
+                    stats,
+                })));
+            }
+            next_frontier.push(st);
+        }
+
+        // Same deterministic accounting as the in-RAM engine, with the
+        // delta's per-layer peak standing in for the visited set.
+        let resident = spill.peak_recent_bytes
+            + (frontier.len() + materialized) as u64 * per_state
+            + candidate_n * (PEND_OVERHEAD_BYTES + HASH_BYTES as u64)
+            + parent.len() as u64 * 8
+            + terminal.len() as u64;
+        stats.peak_resident_bytes = stats.peak_resident_bytes.max(resident);
+
+        if !next_frontier.is_empty() {
+            stats.max_depth += 1;
+        }
+        frontier = next_frontier;
+    }
+
+    stats.spilled_bytes = spill.spilled_bytes;
+    Ok(Explored {
+        stats,
+        parent,
+        terminal,
+        edges: Vec::new(),
+    })
+}

@@ -82,7 +82,8 @@ fn single_machine_state_count_is_exact() {
             states: 3,
             transitions: 2,
             max_depth: 2,
-            terminal_states: 1
+            terminal_states: 1,
+            ..Default::default()
         }
     );
 }
@@ -403,6 +404,7 @@ fn stats_display() {
         transitions: 20,
         max_depth: 5,
         terminal_states: 2,
+        ..Default::default()
     };
     let text = s.to_string();
     assert!(text.contains("10 states"));

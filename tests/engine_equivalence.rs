@@ -242,6 +242,72 @@ fn hashed_dedup_engines_agree() {
     }
 }
 
+/// The external-memory (spill-to-disk) backend must reproduce the exact
+/// counts of the sequential DFS and the in-RAM parallel engines at every
+/// worker count — both with a generous budget (the delta never flushes
+/// mid-layer) and with a zero budget, which clamps the flush threshold
+/// to its 64 KiB floor and forces multiple sorted runs per BFS layer, so
+/// the per-layer merge-join and shard compaction actually run.
+#[test]
+fn spill_backend_engines_agree() {
+    let exact = split_spec::checker(3, 2, 2)
+        .check(split_spec::unique_names_invariant)
+        .expect("SPLIT verifies");
+    assert_eq!((exact.states, exact.transitions), (48_803, 93_696));
+
+    let dir = std::env::temp_dir();
+    // 48_803 states × 16 B ≈ 763 KiB of hashes: a zero budget (64 KiB
+    // effective) forces ~12 flushes spread across the layers.
+    for budget in [1usize << 30, 0] {
+        for workers in WORKER_COUNTS {
+            let spill = split_spec::checker(3, 2, 2)
+                .spill_dir(&dir, budget)
+                .workers(workers)
+                .check_parallel(split_spec::unique_names_invariant)
+                .expect("SPLIT verifies spilled");
+            let tag = format!("budget={budget} workers={workers}");
+            assert_eq!(spill.states, exact.states, "spill states ({tag})");
+            assert_eq!(spill.transitions, exact.transitions, "spill transitions ({tag})");
+            assert_eq!(
+                spill.terminal_states, exact.terminal_states,
+                "spill terminal states ({tag})"
+            );
+            assert!(spill.peak_resident_bytes > 0, "resident accounting ran ({tag})");
+            if budget == 0 {
+                assert!(
+                    spill.spilled_bytes >= exact.states.saturating_sub(8_192) * 16,
+                    "tiny budget must push most hashes to disk ({tag}): \
+                     spilled {} bytes",
+                    spill.spilled_bytes
+                );
+            }
+        }
+    }
+}
+
+/// Under a tiny budget the spill backend must hold far less of the
+/// visited set in RAM than the in-RAM hashed engine — this is the whole
+/// point of the backend, and what the E2 table's budget column claims.
+#[test]
+fn spill_backend_bounds_resident_memory() {
+    let inram = split_spec::checker(3, 2, 2)
+        .hashed_dedup(true)
+        .workers(1)
+        .check_parallel(split_spec::unique_names_invariant)
+        .expect("SPLIT verifies hashed");
+    let spill = split_spec::checker(3, 2, 2)
+        .spill_dir(std::env::temp_dir(), 0)
+        .workers(1)
+        .check_parallel(split_spec::unique_names_invariant)
+        .expect("SPLIT verifies spilled");
+    assert!(
+        spill.peak_resident_bytes < inram.peak_resident_bytes,
+        "spilling must lower the tracked resident peak: {} vs {}",
+        spill.peak_resident_bytes,
+        inram.peak_resident_bytes
+    );
+}
+
 /// On a broken spec the parallel engine must report the *same* violation
 /// — message and schedule — regardless of worker count or dedup mode
 /// (first violating state in deterministic BFS id order), and replaying
@@ -284,6 +350,26 @@ fn violation_schedule_is_deterministic() {
                 ),
             }
         }
+    }
+
+    // The spill backend must report the identical violation — message
+    // and schedule — even when a zero budget forces the visited set
+    // through disk runs.
+    let expected = first.expect("in-RAM engines produced a violation");
+    for workers in WORKER_COUNTS {
+        let err = onetime_spec::checker(2, &[0, 1])
+            .spill_dir(std::env::temp_dir(), 0)
+            .workers(workers)
+            .check_parallel(broken)
+            .expect_err("the broken invariant must trip under spilling");
+        let CheckError::Violation(v) = err else {
+            panic!("expected a violation, got {err}");
+        };
+        assert_eq!(
+            (v.message.clone(), v.schedule.clone()),
+            expected,
+            "spill violation differs (workers={workers})"
+        );
     }
 }
 
