@@ -7,7 +7,15 @@
 //!
 //! The workspace builds fully offline, so this is a `harness = false`
 //! binary with its own small median-of-samples timer instead of criterion.
-//! Run with: `cargo bench -p llr-bench`.
+//! Run with: `cargo bench -p llr-bench`, or a subset by group-name
+//! substring: `cargo bench -p llr-bench -- contended_scaling`.
+//!
+//! The `contended_scaling` group is the wall-clock companion of the
+//! paper's throughput story: every protocol driven through the *same*
+//! generic session handle (`llr_core::session::Handle`), one thread per
+//! pid at full-`k` contention, swept over `k`. Its table also lands in
+//! `results/bench_contended.csv` so the scaling curve is plottable
+//! straight from the repo.
 
 use llr_core::chain::Chain;
 use llr_core::filter::Filter;
@@ -64,6 +72,30 @@ fn contended_ops<R: Renaming>(rn: &R, pids: &[u64], ops_per_thread: u64) -> Dura
 
 const SOLO_BATCH: u64 = 2_000;
 const SOLO_SAMPLES: usize = 15;
+
+/// `results/` at the workspace root — same convention as the experiment
+/// binaries' `common::results_dir` (benches are a separate crate root, so
+/// the helper is duplicated rather than imported).
+fn results_dir() -> std::path::PathBuf {
+    let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir.canonicalize().unwrap_or(dir)
+}
+
+/// Write a small CSV (no field ever contains a comma or quote here).
+fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
+    let mut text = headers.join(",");
+    text.push('\n');
+    for row in rows {
+        text.push_str(&row.join(","));
+        text.push('\n');
+    }
+    let path = results_dir().join(format!("{name}.csv"));
+    match std::fs::write(&path, text) {
+        Ok(()) => println!("  -> wrote {}", path.display()),
+        Err(e) => println!("  -> could not write {}: {e}", path.display()),
+    }
+}
 
 fn bench_solo() {
     for k in [2usize, 4, 8] {
@@ -127,6 +159,74 @@ fn bench_contended() {
         });
         report("contended_throughput", &format!("filter_2k4/{k}"), ns);
     }
+}
+
+/// Contended throughput vs `k` for every protocol, all driven through the
+/// generic `llr_core::session::Handle` (the `Renaming::handle` path). One
+/// thread per pid, each doing `OPS` acquire/release cycles; the reported
+/// figure is the median wall-clock converted to aggregate ops/sec.
+///
+/// Besides the printed table, the sweep is persisted to
+/// `results/bench_contended.csv` with one row per (protocol, k).
+fn bench_contended_scaling() {
+    const OPS: u64 = 1_500;
+    const SAMPLES: usize = 7;
+
+    fn measure<R: Renaming>(
+        rows: &mut Vec<Vec<String>>,
+        protocol: &str,
+        k: usize,
+        rn: &R,
+        pids: &[u64],
+    ) {
+        let total = pids.len() as u64 * OPS;
+        let ns = time_ns_per_op(total, SAMPLES, || {
+            std::hint::black_box(contended_ops(rn, pids, OPS));
+        });
+        let ops_per_sec = 1e9 / ns * pids.len() as f64;
+        report("contended_scaling", &format!("{protocol}/{k}"), ns);
+        rows.push(vec![
+            protocol.to_string(),
+            k.to_string(),
+            pids.len().to_string(),
+            OPS.to_string(),
+            format!("{ns:.1}"),
+            format!("{ops_per_sec:.0}"),
+        ]);
+    }
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for k in [2usize, 3, 4, 6, 8] {
+        let split = Split::new(k);
+        let pids: Vec<u64> = (0..k as u64).map(|i| i * 99_991 + 7).collect();
+        measure(&mut rows, "split", k, &split, &pids);
+
+        let params = FilterParams::two_k_four(k).unwrap();
+        let s = params.source_size();
+        let pids: Vec<u64> = (0..k as u64)
+            .map(|i| (i * (s / (k as u64 + 1)) + 1) % s)
+            .collect();
+        let filter = Filter::new(params, &pids).unwrap();
+        measure(&mut rows, "filter_2k4", k, &filter, &pids);
+
+        let ma = MaGrid::new(k, 1024);
+        let pids: Vec<u64> = (0..k as u64).map(|i| i * (1024 / (k as u64 + 1)) + 1).collect();
+        measure(&mut rows, "ma_s1024", k, &ma, &pids);
+
+        if k <= 4 {
+            let chain = Chain::theorem11(k).unwrap();
+            let pids: Vec<u64> = (0..k as u64)
+                .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(3))
+                .collect();
+            measure(&mut rows, "chain_t11", k, &chain, &pids);
+        }
+    }
+
+    write_csv(
+        "bench_contended",
+        &["protocol", "k", "threads", "ops_per_thread", "ns_per_op", "ops_per_sec"],
+        &rows,
+    );
 }
 
 fn bench_vs_source_space() {
@@ -243,14 +343,35 @@ fn bench_substrate() {
 }
 
 fn main() {
+    // `cargo bench -p llr-bench -- <substring>...` runs only the groups
+    // whose name contains one of the substrings; no args runs everything.
+    let filters: Vec<String> = std::env::args().skip(1).collect();
+    let wants = |group: &str| filters.is_empty() || filters.iter().any(|f| group.contains(f));
+
     println!("{:-<70}", "");
     println!("wall-clock benchmarks (median of samples; smaller is better)");
     println!("{:-<70}", "");
-    bench_solo();
-    bench_contended();
-    bench_vs_source_space();
-    bench_onetime_vs_longlived();
-    bench_step_machine_overhead();
-    bench_release_policy();
-    bench_substrate();
+    let groups: [(&str, fn()); 8] = [
+        ("solo_acquire_release", bench_solo),
+        ("contended_throughput", bench_contended),
+        ("contended_scaling", bench_contended_scaling),
+        ("vs_source_space", bench_vs_source_space),
+        ("onetime_vs_longlived", bench_onetime_vs_longlived),
+        ("step_machine_overhead", bench_step_machine_overhead),
+        ("release_policy", bench_release_policy),
+        ("substrate", bench_substrate),
+    ];
+    let mut ran = 0;
+    for (name, f) in groups {
+        if wants(name) {
+            f();
+            ran += 1;
+        }
+    }
+    if ran == 0 {
+        println!("no group matched {filters:?}; groups are:");
+        for (name, _) in groups {
+            println!("  {name}");
+        }
+    }
 }

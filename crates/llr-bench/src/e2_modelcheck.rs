@@ -33,37 +33,8 @@ use llr_core::split::spec as split_spec;
 use llr_core::splitter::spec as splitter_spec;
 use llr_core::tournament::spec as tree_spec;
 use llr_gf::FilterParams;
-use llr_mc::{CheckError, CheckStats, ModelChecker, StepMachine, World};
+use llr_mc::{CheckError, CheckStats, Engine, ModelChecker, StepMachine, World};
 use std::time::{Duration, Instant};
-
-/// Which engine explores a row.
-#[derive(Clone, Copy, PartialEq)]
-enum Engine {
-    /// Sequential DFS with exact dedup (the reference engine).
-    Dfs,
-    /// Parallel BFS, one worker per core, exact dedup.
-    Bfs,
-    /// Parallel BFS, one worker per core, 128-bit hashed dedup.
-    BfsHashed,
-    /// Parallel BFS with the external-memory visited set: only this many
-    /// bytes of not-yet-flushed state hashes stay in RAM; the rest lives
-    /// in sorted runs on disk (see `ModelChecker::spill_dir`).
-    BfsSpill(usize),
-}
-
-impl Engine {
-    fn label(self) -> String {
-        let w = std::thread::available_parallelism().map_or(1, |n| n.get());
-        match self {
-            Engine::Dfs => "dfs".into(),
-            Engine::Bfs => format!("bfs:{w}w"),
-            Engine::BfsHashed => format!("bfs+hash:{w}w"),
-            Engine::BfsSpill(budget) => {
-                format!("bfs+spill:{w}w:{}MiB", budget >> 20)
-            }
-        }
-    }
-}
 
 /// State budget for the large parallel rows.
 const BIG: usize = 200_000_000;
@@ -74,30 +45,43 @@ const BIG: usize = 200_000_000;
 /// the rows genuinely exercise the external-memory path.
 const SPILL_BUDGET: usize = 256 << 20;
 
+/// The reference sequential DFS.
+fn dfs() -> Engine {
+    Engine::Sequential
+}
+
+/// Parallel BFS, one worker per core, exact dedup.
+fn bfs() -> Engine {
+    Engine::Parallel { workers: 0, hashed: false }
+}
+
+/// Parallel BFS, one worker per core, 128-bit hashed dedup.
+fn bfs_hashed() -> Engine {
+    Engine::Parallel { workers: 0, hashed: true }
+}
+
+/// Parallel BFS with the external-memory visited set: only `budget`
+/// bytes of not-yet-flushed state hashes stay in RAM; the rest lives in
+/// sorted runs on disk.
+fn bfs_spill(budget: usize) -> Engine {
+    Engine::Spill {
+        dir: std::env::temp_dir(),
+        budget_bytes: budget,
+        workers: 0,
+    }
+}
+
 fn explore<M, F>(
     mc: ModelChecker<M>,
     invariant: F,
-    engine: Engine,
+    engine: &Engine,
 ) -> (Result<CheckStats, CheckError>, Duration)
 where
     M: StepMachine + Send + Sync,
     F: Fn(&World<'_, M>) -> Result<(), String>,
 {
     let start = Instant::now();
-    let r = match engine {
-        Engine::Dfs => mc.max_states(BIG).check(invariant),
-        Engine::Bfs => mc.max_states(BIG).workers(0).check_parallel(invariant),
-        Engine::BfsHashed => mc
-            .max_states(BIG)
-            .workers(0)
-            .hashed_dedup(true)
-            .check_parallel(invariant),
-        Engine::BfsSpill(budget) => mc
-            .max_states(BIG)
-            .workers(0)
-            .spill_dir(std::env::temp_dir(), budget)
-            .check_parallel(invariant),
-    };
+    let r = mc.max_states(BIG).check_with(engine, invariant);
     (r, start.elapsed())
 }
 
@@ -106,7 +90,7 @@ where
 fn splitter_all_inits(
     ell: usize,
     sessions: u8,
-    engine: Engine,
+    engine: &Engine,
 ) -> (Result<CheckStats, CheckError>, Duration) {
     let mut total = CheckStats::default();
     let mut wall = Duration::ZERO;
@@ -154,7 +138,7 @@ pub fn run() {
     let mut add = |subject: &str,
                    invariant: &str,
                    config: &str,
-                   engine: Engine,
+                   engine: &Engine,
                    (res, wall): (Result<CheckStats, CheckError>, Duration)| {
         let wall_ms = format!("{:.1}", wall.as_secs_f64() * 1e3);
         match res {
@@ -168,7 +152,7 @@ pub fn run() {
                     "-".into()
                 };
                 let spilled = match engine {
-                    Engine::BfsSpill(_) => s.spilled_bytes.to_string(),
+                    Engine::Spill { .. } => s.spilled_bytes.to_string(),
                     _ => "-".into(),
                 };
                 t.row(&[
@@ -215,24 +199,24 @@ pub fn run() {
         "splitter (Fig 2)",
         "each output set ≤ ℓ-1",
         "ℓ=2, 3 sessions, all 12 initial states",
-        Engine::Dfs,
-        splitter_all_inits(2, 3, Engine::Dfs),
+        &dfs(),
+        splitter_all_inits(2, 3, &dfs()),
     );
-    for engine in [Engine::Dfs, Engine::Bfs] {
+    for engine in [dfs(), bfs()] {
         add(
             "splitter (Fig 2)",
             "each output set ≤ ℓ-1",
             "ℓ=3, 2 sessions, all 12 initial states",
-            engine,
-            splitter_all_inits(3, 2, engine),
+            &engine,
+            splitter_all_inits(3, 2, &engine),
         );
     }
     add(
         "splitter (Fig 2)",
         "each output set ≤ ℓ-1",
         "ℓ=3, 3 sessions, all 12 initial states",
-        Engine::BfsHashed,
-        splitter_all_inits(3, 3, Engine::BfsHashed),
+        &bfs_hashed(),
+        splitter_all_inits(3, 3, &bfs_hashed()),
     );
     // One size step beyond what the in-RAM engines cover, on the
     // external-memory backend. Each of the 12 initial-state runs is its
@@ -242,8 +226,8 @@ pub fn run() {
         "splitter (Fig 2)",
         "each output set ≤ ℓ-1",
         "ℓ=3, 4 sessions, all 12 initial states",
-        Engine::BfsSpill(SPILL_BUDGET / 4),
-        splitter_all_inits(3, 4, Engine::BfsSpill(SPILL_BUDGET / 4)),
+        &bfs_spill(SPILL_BUDGET / 4),
+        splitter_all_inits(3, 4, &bfs_spill(SPILL_BUDGET / 4)),
     );
 
     // Peterson–Fischer ME (Figure 3 reconstruction) — Lemma 6 substrate.
@@ -252,54 +236,54 @@ pub fn run() {
             "PF 2-proc ME (Fig 3)",
             "mutual exclusion",
             &format!("2 procs, {sessions} sessions"),
-            Engine::Dfs,
-            explore(pf_spec::checker(sessions), pf_spec::mutual_exclusion, Engine::Dfs),
+            &dfs(),
+            explore(pf_spec::checker(sessions), pf_spec::mutual_exclusion, &dfs()),
         );
     }
     add(
         "PF 2-proc ME (Fig 3)",
         "no deadlock state",
         "2 procs, 5 sessions",
-        Engine::Dfs,
-        explore(pf_spec::checker(5), pf_spec::no_deadlock_invariant, Engine::Dfs),
+        &dfs(),
+        explore(pf_spec::checker(5), pf_spec::no_deadlock_invariant, &dfs()),
     );
 
     // Tournament trees — Lemma 6. The 4-contender S=8 row is new: all
     // eight leaf pairs contended through three levels.
     for (s, parts, sessions, engine) in [
-        (8u64, vec![2u64, 3], 3u8, Engine::Dfs),
-        (8, vec![0, 7], 3, Engine::Dfs),
-        (4, vec![0, 1, 3], 2, Engine::Dfs),
-        (4, vec![0, 1, 2, 3], 2, Engine::Dfs),
-        (8, vec![0, 3, 5, 7], 2, Engine::BfsHashed),
+        (8u64, vec![2u64, 3], 3u8, dfs()),
+        (8, vec![0, 7], 3, dfs()),
+        (4, vec![0, 1, 3], 2, dfs()),
+        (4, vec![0, 1, 2, 3], 2, dfs()),
+        (8, vec![0, 3, 5, 7], 2, bfs_hashed()),
     ] {
         add(
             "tournament tree",
             "root CS exclusion",
             &format!("S={s}, pids={parts:?}, {sessions} sessions"),
-            engine,
-            explore(tree_spec::checker(s, &parts, sessions), tree_spec::root_exclusion, engine),
+            &engine,
+            explore(tree_spec::checker(s, &parts, sessions), tree_spec::root_exclusion, &engine),
         );
     }
 
     // SPLIT (Figure 1) — name uniqueness. k=4 with three contenders is
     // new territory (a depth-3 splitter tree under contention).
     for (k, procs, sessions, engine) in [
-        (2usize, 2usize, 3u8, Engine::Dfs),
-        (3, 2, 2, Engine::Dfs),
-        (3, 3, 1, Engine::Dfs),
-        (4, 3, 1, Engine::BfsHashed),
-        (5, 3, 1, Engine::BfsSpill(SPILL_BUDGET)),
+        (2usize, 2usize, 3u8, dfs()),
+        (3, 2, 2, dfs()),
+        (3, 3, 1, dfs()),
+        (4, 3, 1, bfs_hashed()),
+        (5, 3, 1, bfs_spill(SPILL_BUDGET)),
     ] {
         add(
             "SPLIT (Fig 1)",
             "held names unique",
             &format!("k={k}, {procs} procs, {sessions} sessions"),
-            engine,
+            &engine,
             explore(
                 split_spec::checker(k, procs, sessions),
                 split_spec::unique_names_invariant,
-                engine,
+                &engine,
             ),
         );
     }
@@ -312,21 +296,21 @@ pub fn run() {
             "FILTER (Fig 4)",
             "unique names + ME blocks",
             &format!("k=2, S=4, d=1, z=2, pids={pair:?}, 2 sessions"),
-            Engine::Dfs,
-            explore(filter_spec::checker(tiny, &pair, 2), filter_spec::combined_invariant, Engine::Dfs),
+            &dfs(),
+            explore(filter_spec::checker(tiny, &pair, 2), filter_spec::combined_invariant, &dfs()),
         );
     }
     let gf5 = FilterParams::new(3, 25, 1, 5).unwrap();
-    for (sessions, engine) in [(1u8, Engine::Dfs), (2, Engine::BfsHashed)] {
+    for (sessions, engine) in [(1u8, dfs()), (2, bfs_hashed())] {
         add(
             "FILTER (Fig 4)",
             "unique names + ME blocks",
             &format!("k=3, S=25, d=1, z=5, pids=[1,6,11], {sessions} sessions"),
-            engine,
+            &engine,
             explore(
                 filter_spec::checker(gf5, &[1, 6, 11], sessions),
                 filter_spec::combined_invariant,
-                engine,
+                &engine,
             ),
         );
     }
@@ -339,43 +323,43 @@ pub fn run() {
         "FILTER (Fig 4)",
         "unique names + ME blocks",
         "k=4, S=49, d=1, z=7, pids=[1,8,15,22], 1 sessions",
-        Engine::BfsSpill(SPILL_BUDGET),
+        &bfs_spill(SPILL_BUDGET),
         explore(
             filter_spec::checker(gf7, &[1, 8, 15, 22], 1),
             filter_spec::combined_invariant,
-            Engine::BfsSpill(SPILL_BUDGET),
+            &bfs_spill(SPILL_BUDGET),
         ),
     );
 
     // MA grid — uniqueness. Three contenders doing two full sessions each
     // is new.
     for (k, s, pids, sessions, engine) in [
-        (2usize, 3u64, vec![0u64, 2], 3u8, Engine::Dfs),
-        (3, 3, vec![0, 1, 2], 1, Engine::Dfs),
-        (2, 4, vec![1, 3], 3, Engine::Dfs),
-        (3, 3, vec![0, 1, 2], 2, Engine::BfsHashed),
+        (2usize, 3u64, vec![0u64, 2], 3u8, dfs()),
+        (3, 3, vec![0, 1, 2], 1, dfs()),
+        (2, 4, vec![1, 3], 3, dfs()),
+        (3, 3, vec![0, 1, 2], 2, bfs_hashed()),
     ] {
         add(
             "MA grid (baseline)",
             "held names unique",
             &format!("k={k}, S={s}, pids={pids:?}, {sessions} sessions"),
-            engine,
-            explore(ma_spec::checker(k, s, &pids, sessions), ma_spec::unique_names_invariant, engine),
+            &engine,
+            explore(ma_spec::checker(k, s, &pids, sessions), ma_spec::unique_names_invariant, &engine),
         );
     }
 
     // Chain composition (SPLIT → MA in one register file). Three sessions
     // is new.
-    for (sessions, engine) in [(2u8, Engine::Dfs), (3, Engine::BfsHashed)] {
+    for (sessions, engine) in [(2u8, dfs()), (3, bfs_hashed())] {
         add(
             "chain SPLIT→MA",
             "end-to-end names unique",
             &format!("k=2, 2 procs, {sessions} sessions, backwards release"),
-            engine,
+            &engine,
             explore(
                 chain_spec::checker(2, &[3, 9], sessions),
                 chain_spec::unique_names_invariant,
-                engine,
+                &engine,
             ),
         );
     }
@@ -387,20 +371,20 @@ pub fn run() {
             "one-time grid",
             "acquired names unique",
             &format!("k={k}, pids={pids:?}"),
-            Engine::Dfs,
-            explore(onetime_spec::checker(k, &pids), onetime_spec::unique_names_invariant, Engine::Dfs),
+            &dfs(),
+            explore(onetime_spec::checker(k, &pids), onetime_spec::unique_names_invariant, &dfs()),
         );
     }
-    for engine in [Engine::Dfs, Engine::Bfs] {
+    for engine in [dfs(), bfs()] {
         add(
             "one-time grid",
             "acquired names unique",
             "k=4, pids=[0, 1, 2, 3]",
-            engine,
+            &engine,
             explore(
                 onetime_spec::checker(4, &[0, 1, 2, 3]),
                 onetime_spec::unique_names_invariant,
-                engine,
+                &engine,
             ),
         );
     }
@@ -411,11 +395,11 @@ pub fn run() {
         "one-time grid",
         "acquired names unique",
         "k=5, pids=[0, 1, 2, 4]",
-        Engine::BfsHashed,
+        &bfs_hashed(),
         explore(
             onetime_spec::checker(5, &[0, 1, 2, 4]),
             onetime_spec::unique_names_invariant,
-            Engine::BfsHashed,
+            &bfs_hashed(),
         ),
     );
 

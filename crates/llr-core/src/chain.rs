@@ -393,7 +393,7 @@ pub mod spec {
     use crate::ma::{MaAcquire, MaRelease, MaShape};
     use crate::split::{PathEntry, SplitAcquire, SplitRelease, SplitShape};
     use crate::types::{Name, Pid};
-    use llr_mc::{CheckStats, MachineStatus, ModelChecker, StepMachine, Violation, World};
+    use llr_mc::{CheckStats, ModelChecker, Violation, World};
     use llr_mem::{Layout, Memory, Word};
 
     /// Register layout of a SPLIT → MA mini-chain.
@@ -413,147 +413,152 @@ pub mod spec {
         }
     }
 
+    /// The composite acquire machine: walk the SPLIT tree, then — under
+    /// the intermediate identity it yields — walk the MA grid.
     #[derive(Clone, Debug)]
-    enum Phase {
-        Idle,
-        SplitAcq(SplitAcquire),
-        MaAcq {
+    pub enum ChainAcquire {
+        /// Stage 1: the SPLIT walk.
+        Split(SplitAcquire),
+        /// Stage 2: the MA walk, with the SPLIT outcome carried along for
+        /// the eventual backwards release.
+        Ma {
             split_path: Vec<PathEntry>,
             intermediate: Pid,
             m: MaAcquire,
         },
-        Holding {
-            split_path: Vec<PathEntry>,
-            intermediate: Pid,
-            cell: (usize, usize),
-            name: Name,
-        },
-        /// Releasing the SPLIT stage (the MA stage, a single write, was
-        /// released on the transition out of `Holding` — backwards order).
-        SplitRel(SplitRelease),
     }
 
-    /// A process cycling through the two-stage chain.
+    /// Everything a completed chain session holds: the final name plus
+    /// the breadcrumbs each stage's release needs.
     #[derive(Clone, Debug)]
-    pub struct ChainUser {
+    pub struct ChainToken {
+        split_path: Vec<PathEntry>,
+        intermediate: Pid,
+        cell: (usize, usize),
+        name: Name,
+    }
+
+    /// The composite release machine. Backwards order: the MA name goes
+    /// first (a single write, performed on the step that leaves Holding),
+    /// then the SPLIT-stage release retraces the tree path — releasing the
+    /// front stage first would let another process grab our intermediate
+    /// name and enter MA with an identity we still occupy there.
+    #[derive(Clone, Debug)]
+    pub enum ChainRelease {
+        /// The pending MA release write, with the SPLIT path stashed.
+        Ma {
+            split_path: Vec<PathEntry>,
+            m: MaRelease,
+        },
+        /// Stage 1 unwinding.
+        Split(SplitRelease),
+    }
+
+    /// The SPLIT → MA mini-chain's
+    /// [`ProtocolCore`][crate::session::ProtocolCore]: both stages' shapes
+    /// plus one pid.
+    #[derive(Clone, Debug)]
+    pub struct ChainCore {
         shape: MiniChainShape,
         pid: Pid,
-        sessions_left: u8,
-        phase: Phase,
     }
 
-    impl ChainUser {
-        /// A chain user with identity `pid` doing `sessions` cycles.
-        pub fn new(shape: MiniChainShape, pid: Pid, sessions: u8) -> Self {
-            Self {
-                shape,
-                pid,
-                sessions_left: sessions,
-                phase: Phase::Idle,
-            }
-        }
-
-        /// The final (MA-stage) name currently held.
-        pub fn holding(&self) -> Option<Name> {
-            match &self.phase {
-                Phase::Holding { name, .. } => Some(*name),
-                _ => None,
-            }
+    impl ChainCore {
+        /// A core for process `pid` on the mini-chain `shape`.
+        pub fn new(shape: MiniChainShape, pid: Pid) -> Self {
+            Self { shape, pid }
         }
     }
 
-    impl StepMachine for ChainUser {
-        fn step(&mut self, mem: &dyn Memory) -> MachineStatus {
-            match &mut self.phase {
-                Phase::Idle => {
-                    let mut m = SplitAcquire::new(self.shape.split.clone(), self.pid);
-                    match m.step(mem) {
-                        Some(intermediate) => {
-                            // k = 1: zero-access SPLIT stage.
-                            let split_path = m.into_path();
-                            self.phase = Phase::MaAcq {
-                                split_path,
-                                intermediate,
-                                m: MaAcquire::new(self.shape.ma.clone(), intermediate),
-                            };
-                        }
-                        None => self.phase = Phase::SplitAcq(m),
-                    }
-                    MachineStatus::Running
-                }
-                Phase::SplitAcq(m) => {
+    impl crate::session::ProtocolCore for ChainCore {
+        type Acquire = ChainAcquire;
+        type Token = ChainToken;
+        type Release = ChainRelease;
+
+        // The SPLIT walk's first access happens in the same scheduled step
+        // that leaves Idle (and a k = 1 zero-access SPLIT stage falls
+        // straight through to the MA walk).
+        const LAZY_START: bool = false;
+
+        fn pid(&self) -> Pid {
+            self.pid
+        }
+
+        fn begin_acquire(&self) -> ChainAcquire {
+            ChainAcquire::Split(SplitAcquire::new(self.shape.split.clone(), self.pid))
+        }
+
+        fn step_acquire(&self, a: &mut ChainAcquire, mem: &dyn Memory) -> Option<ChainToken> {
+            match a {
+                ChainAcquire::Split(m) => {
                     if let Some(intermediate) = m.step(mem) {
                         let split_path =
                             std::mem::replace(m, SplitAcquire::new(self.shape.split.clone(), 0))
                                 .into_path();
-                        self.phase = Phase::MaAcq {
+                        *a = ChainAcquire::Ma {
                             split_path,
                             intermediate,
                             m: MaAcquire::new(self.shape.ma.clone(), intermediate),
                         };
                     }
-                    MachineStatus::Running
+                    None
                 }
-                Phase::MaAcq {
+                ChainAcquire::Ma {
                     split_path,
                     intermediate,
                     m,
-                } => {
-                    if let Some(name) = m.step(mem) {
-                        self.phase = Phase::Holding {
-                            split_path: std::mem::take(split_path),
-                            intermediate: *intermediate,
-                            cell: m.stopped_at().expect("stopped"),
-                            name,
-                        };
-                    }
-                    MachineStatus::Running
-                }
-                Phase::Holding {
-                    split_path,
-                    intermediate,
-                    cell,
-                    ..
-                } => {
-                    // Backwards release: the MA name goes first, under the
-                    // intermediate (SPLIT-stage) identity it was acquired
-                    // with; the single release write happens on this step,
-                    // and the SPLIT-stage release starts on the next one.
-                    let mut m = MaRelease::new(self.shape.ma.clone(), *intermediate, *cell);
-                    let split_path = std::mem::take(split_path);
+                } => m.step(mem).map(|name| ChainToken {
+                    split_path: std::mem::take(split_path),
+                    intermediate: *intermediate,
+                    cell: m.stopped_at().expect("stopped"),
+                    name,
+                }),
+            }
+        }
+
+        fn begin_release(&self, t: ChainToken) -> ChainRelease {
+            ChainRelease::Ma {
+                split_path: t.split_path,
+                m: MaRelease::new(self.shape.ma.clone(), t.intermediate, t.cell),
+            }
+        }
+
+        fn step_release(&self, r: &mut ChainRelease, mem: &dyn Memory) -> bool {
+            match r {
+                ChainRelease::Ma { split_path, m } => {
                     let done = m.step(mem);
                     debug_assert!(done, "MA release is a single write");
-                    self.phase = Phase::SplitRel(SplitRelease::new(
+                    *r = ChainRelease::Split(SplitRelease::new(
                         self.shape.split.clone(),
                         self.pid,
-                        split_path,
+                        std::mem::take(split_path),
                     ));
-                    MachineStatus::Running
+                    false
                 }
-                Phase::SplitRel(r) => {
-                    if r.step(mem) {
-                        self.finish_session()
-                    } else {
-                        MachineStatus::Running
-                    }
-                }
+                ChainRelease::Split(rel) => rel.step(mem),
             }
         }
 
-        fn key(&self, out: &mut Vec<Word>) {
-            out.push(self.sessions_left as u64);
-            match &self.phase {
-                Phase::Idle => out.push(0),
-                Phase::SplitAcq(m) => {
-                    out.push(1);
+        fn token_name(&self, t: &ChainToken) -> Option<Name> {
+            Some(t.name)
+        }
+
+        fn dest_size(&self) -> u64 {
+            (self.shape.ma.k() * (self.shape.ma.k() + 1) / 2) as u64
+        }
+
+        fn key_acquire(&self, a: &ChainAcquire, out: &mut Vec<Word>) {
+            match a {
+                ChainAcquire::Split(m) => {
+                    out.push(0);
                     m.key(out);
                 }
-                Phase::MaAcq {
+                ChainAcquire::Ma {
+                    split_path,
+                    intermediate,
                     m,
-                    split_path,
-                    intermediate,
                 } => {
-                    out.push(2);
+                    out.push(1);
                     out.push(*intermediate);
                     m.key(out);
                     for e in split_path {
@@ -561,70 +566,61 @@ pub mod spec {
                         out.push(u64::from(e.adv2));
                     }
                 }
-                Phase::Holding {
-                    name,
-                    cell,
-                    split_path,
-                    intermediate,
-                } => {
-                    out.push(3);
-                    out.push(*intermediate);
-                    out.push(*name);
-                    out.push(cell.0 as u64);
-                    out.push(cell.1 as u64);
-                    for e in split_path {
-                        out.push(e.advice.word());
-                        out.push(u64::from(e.adv2));
-                    }
-                }
-                Phase::SplitRel(r) => {
-                    out.push(5);
-                    r.key(out);
+            }
+        }
+
+        fn key_token(&self, t: &ChainToken, out: &mut Vec<Word>) {
+            out.push(t.intermediate);
+            out.push(t.name);
+            out.push(t.cell.0 as u64);
+            out.push(t.cell.1 as u64);
+            for e in &t.split_path {
+                out.push(e.advice.word());
+                out.push(u64::from(e.adv2));
+            }
+        }
+
+        fn key_release(&self, r: &ChainRelease, out: &mut Vec<Word>) {
+            match r {
+                // Never reachable as a stored state: the MA write happens
+                // inside the step that leaves Holding.
+                ChainRelease::Ma { .. } => out.push(0),
+                ChainRelease::Split(rel) => {
+                    out.push(1);
+                    rel.key(out);
                 }
             }
         }
 
-        fn describe(&self) -> String {
-            let phase = match &self.phase {
-                Phase::Idle => "Idle".into(),
-                Phase::SplitAcq(m) => format!("S1:{}", m.describe()),
-                Phase::MaAcq { m, .. } => format!("S2:{}", m.describe()),
-                Phase::Holding { name, .. } => format!("Holding({name})"),
-                Phase::SplitRel(r) => format!("S1:{}", r.describe()),
-            };
-            format!("p{}:{phase} ({} left)", self.pid, self.sessions_left)
+        fn describe_acquire(&self, a: &ChainAcquire) -> String {
+            match a {
+                ChainAcquire::Split(m) => format!("S1:{}", m.describe()),
+                ChainAcquire::Ma { m, .. } => format!("S2:{}", m.describe()),
+            }
+        }
+
+        fn describe_release(&self, r: &ChainRelease) -> String {
+            match r {
+                ChainRelease::Ma { .. } => "S2:Releasing".into(),
+                ChainRelease::Split(rel) => format!("S1:{}", rel.describe()),
+            }
         }
     }
 
+    /// A process cycling through the two-stage chain: the generic session
+    /// machine over [`ChainCore`].
+    pub type ChainUser = crate::session::Session<ChainCore>;
+
     impl ChainUser {
-        fn finish_session(&mut self) -> MachineStatus {
-            self.sessions_left -= 1;
-            self.phase = Phase::Idle;
-            if self.sessions_left == 0 {
-                MachineStatus::Done
-            } else {
-                MachineStatus::Running
-            }
+        /// A chain user with identity `pid` doing `sessions` cycles.
+        pub fn new(shape: MiniChainShape, pid: Pid, sessions: u8) -> Self {
+            crate::session::Session::start(ChainCore::new(shape, pid), sessions)
         }
     }
 
     /// Final names held concurrently are pairwise distinct and in range.
     pub fn unique_names_invariant(world: &World<'_, ChainUser>) -> Result<(), String> {
-        let mut held = std::collections::HashMap::new();
-        for (i, m) in world.machines.iter().enumerate() {
-            if let Some(name) = m.holding() {
-                let d = (m.shape.ma.k() * (m.shape.ma.k() + 1) / 2) as u64;
-                if name >= d {
-                    return Err(format!("machine {i} holds out-of-range name {name}"));
-                }
-                if let Some(j) = held.insert(name, i) {
-                    return Err(format!(
-                        "machines {j} and {i} concurrently hold chain name {name}"
-                    ));
-                }
-            }
-        }
-        Ok(())
+        crate::session::unique_names_invariant(world)
     }
 
     /// Builds the model checker for a SPLIT → MA mini-chain (shared by
@@ -649,13 +645,11 @@ pub mod spec {
         pids: &[Pid],
         sessions: u8,
     ) -> Result<CheckStats, Box<Violation>> {
-        match checker(k, pids, sessions).check(unique_names_invariant) {
-            Ok(stats) => Ok(stats),
-            Err(llr_mc::CheckError::Violation(v)) => Err(v),
-            Err(e) => {
-                panic!("chain exploration exceeded the state budget: {e}")
-            }
-        }
+        crate::session::run_check(
+            checker(k, pids, sessions),
+            &crate::session::Engine::Sequential,
+            unique_names_invariant,
+        )
     }
 }
 

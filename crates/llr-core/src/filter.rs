@@ -47,11 +47,12 @@
 //! ```
 
 use crate::pf::{self, MeEnter};
+use crate::session::{Handle, ProtocolCore, Session};
 use crate::tournament::{TreeProgress, TreeShape};
-use crate::traits::{Renaming, RenamingHandle};
+use crate::traits::Renaming;
 use crate::types::{Name, Pid};
 use llr_gf::FilterParams;
-use llr_mem::{AtomicMemory, Counting, Layout, Memory, Word};
+use llr_mem::{AtomicMemory, Layout, Memory, Word};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
@@ -601,13 +602,7 @@ impl Renaming for Filter {
             self.shape.is_registered(pid),
             "pid {pid} was not registered with this FILTER instance"
         );
-        FilterHandle {
-            filter: self,
-            pid,
-            pos: None,
-            accesses: 0,
-            metrics: None,
-        }
+        Handle::new(FilterCore::new(self.shape.clone(), pid, self.policy), &self.mem)
     }
 
     fn source_size(&self) -> u64 {
@@ -623,68 +618,125 @@ impl Renaming for Filter {
     }
 }
 
-/// Process handle on a [`Filter`] object.
-#[derive(Debug)]
-pub struct FilterHandle<'a> {
-    filter: &'a Filter,
+/// FILTER's [`ProtocolCore`]: the shape, one pid, and the release policy
+/// (which decides whether acquire completion routes through the
+/// eager-loser prologue).
+#[derive(Clone, Debug)]
+pub struct FilterCore {
+    shape: FilterShape,
     pid: Pid,
-    pos: Option<FilterPosition>,
-    accesses: u64,
-    metrics: Option<AcquireMetrics>,
+    policy: ReleasePolicy,
 }
 
-impl FilterHandle<'_> {
-    /// Metrics of the most recent acquire (checks/enters/rounds), if one
-    /// completed.
-    pub fn last_metrics(&self) -> Option<AcquireMetrics> {
-        self.metrics
+impl FilterCore {
+    /// A core for registered process `pid` under `policy`.
+    pub fn new(shape: FilterShape, pid: Pid, policy: ReleasePolicy) -> Self {
+        Self { shape, pid, policy }
+    }
+
+    /// The FILTER shape.
+    pub fn shape(&self) -> &FilterShape {
+        &self.shape
+    }
+
+    /// The configured release policy.
+    pub fn policy(&self) -> ReleasePolicy {
+        self.policy
     }
 }
 
-impl RenamingHandle for FilterHandle<'_> {
-    fn acquire(&mut self) -> Name {
-        assert!(self.pos.is_none(), "acquire while holding a name");
-        let mem = Counting::new(&self.filter.mem);
-        let mut m = FilterAcquire::new(self.filter.shape.clone(), self.pid);
-        let name = loop {
-            if let Some(name) = m.step(&mem) {
-                break name;
-            }
-        };
-        self.metrics = Some(m.metrics());
-        let pos = m.into_position();
-        self.pos = Some(match self.filter.policy {
-            ReleasePolicy::AtReleaseName => pos,
-            ReleasePolicy::EagerLosers => {
-                let (winner, losers) = pos.split_winner();
-                let mut r =
-                    FilterRelease::new(self.filter.shape.clone(), self.pid, losers);
-                while !r.step(&mem) {}
-                winner
-            }
-        });
-        self.accesses += mem.accesses();
-        name
-    }
+impl ProtocolCore for FilterCore {
+    type Acquire = FilterAcquire;
+    type Token = FilterPosition;
+    type Release = FilterRelease;
 
-    fn release(&mut self) {
-        let pos = self.pos.take().expect("release without holding a name");
-        let mem = Counting::new(&self.filter.mem);
-        let mut m = FilterRelease::new(self.filter.shape.clone(), self.pid, pos);
-        while !m.step(&mem) {}
-        self.accesses += mem.accesses();
-    }
+    // GetName's first shared access (an ME-entry write) happens in the
+    // same scheduled step that leaves Idle.
+    const LAZY_START: bool = false;
 
     fn pid(&self) -> Pid {
         self.pid
     }
 
-    fn held(&self) -> Option<Name> {
-        self.pos.as_ref().and_then(FilterPosition::name)
+    fn begin_acquire(&self) -> FilterAcquire {
+        FilterAcquire::new(self.shape.clone(), self.pid)
     }
 
-    fn accesses(&self) -> u64 {
-        self.accesses
+    fn step_acquire(&self, a: &mut FilterAcquire, mem: &dyn Memory) -> Option<FilterPosition> {
+        // Clone-then-consume so the completed machine (and its metrics)
+        // stays available to diagnostics like `FilterHandle::last_metrics`.
+        a.step(mem).map(|_| a.clone().into_position())
+    }
+
+    fn prologue(&self, token: &mut FilterPosition) -> Option<FilterRelease> {
+        match self.policy {
+            ReleasePolicy::AtReleaseName => None,
+            ReleasePolicy::EagerLosers => {
+                let (winner, losers) = token.clone().split_winner();
+                *token = winner;
+                Some(FilterRelease::new(self.shape.clone(), self.pid, losers))
+            }
+        }
+    }
+
+    fn begin_release(&self, pos: FilterPosition) -> FilterRelease {
+        FilterRelease::new(self.shape.clone(), self.pid, pos)
+    }
+
+    fn step_release(&self, r: &mut FilterRelease, mem: &dyn Memory) -> bool {
+        r.step(mem)
+    }
+
+    fn token_name(&self, pos: &FilterPosition) -> Option<Name> {
+        pos.name()
+    }
+
+    fn dest_size(&self) -> u64 {
+        self.shape.params.dest_size()
+    }
+
+    fn key_acquire(&self, a: &FilterAcquire, out: &mut Vec<Word>) {
+        a.key(out);
+    }
+
+    fn key_token(&self, pos: &FilterPosition, out: &mut Vec<Word>) {
+        out.push(pos.name().map_or(u64::MAX, |n| n));
+        for i in 0..pos.names().len() {
+            out.push(pos.confirmed_level(i) as u64);
+            pos.progress[i].key(out);
+        }
+    }
+
+    fn key_release(&self, r: &FilterRelease, out: &mut Vec<Word>) {
+        r.key(out);
+    }
+
+    // Historical coarser encoding of the eager-loser phase: the loser
+    // release's full state plus just the winner's name (the winner's
+    // positions are untouched while the losers drain).
+    fn key_prologue(&self, rel: &FilterRelease, token: &FilterPosition, out: &mut Vec<Word>) {
+        rel.key(out);
+        out.push(token.name().map_or(u64::MAX, |n| n));
+    }
+
+    fn describe_acquire(&self, a: &FilterAcquire) -> String {
+        a.describe()
+    }
+
+    fn describe_release(&self, r: &FilterRelease) -> String {
+        r.describe()
+    }
+}
+
+/// Process handle on a [`Filter`] object: the generic session handle over
+/// [`FilterCore`].
+pub type FilterHandle<'a> = Handle<'a, FilterCore>;
+
+impl FilterHandle<'_> {
+    /// Metrics of the most recent acquire (checks/enters/rounds), if one
+    /// completed.
+    pub fn last_metrics(&self) -> Option<AcquireMetrics> {
+        self.last_acquire().map(FilterAcquire::metrics)
     }
 }
 
@@ -693,30 +745,13 @@ pub mod spec {
     //! block-level mutual exclusion (Lemma 6) under every interleaving.
 
     use super::*;
-    use llr_mc::{CheckStats, MachineStatus, ModelChecker, StepMachine, Violation, World};
+    use crate::session::SessionPhase;
+    use llr_mc::{CheckStats, ModelChecker, Violation, World};
 
-    #[derive(Clone, Debug)]
-    enum Phase {
-        Idle,
-        Acquiring(FilterAcquire),
-        /// Eager policy only: dropping loser-tree positions before holding.
-        EagerReleasing {
-            losers: FilterRelease,
-            winner: FilterPosition,
-        },
-        Holding(FilterPosition),
-        Releasing(FilterRelease),
-    }
-
-    /// A process performing `sessions` × (`GetName`; dwell; `ReleaseName`).
-    #[derive(Clone, Debug)]
-    pub struct FilterUser {
-        shape: FilterShape,
-        pid: Pid,
-        sessions_left: u8,
-        policy: ReleasePolicy,
-        phase: Phase,
-    }
+    /// A process performing `sessions` × (`GetName`; dwell; `ReleaseName`):
+    /// the generic session machine over [`FilterCore`] (the eager-loser
+    /// release runs in the session's Prologue phase).
+    pub type FilterUser = Session<FilterCore>;
 
     impl FilterUser {
         /// A user of the FILTER instance described by `shape`.
@@ -731,189 +766,40 @@ pub mod spec {
             sessions: u8,
             policy: ReleasePolicy,
         ) -> Self {
-            Self {
-                shape,
-                pid,
-                sessions_left: sessions,
-                policy,
-                phase: Phase::Idle,
-            }
-        }
-
-        /// The name currently held (acquire finished, release not yet
-        /// started).
-        pub fn holding(&self) -> Option<Name> {
-            match &self.phase {
-                Phase::Holding(pos) => pos.name(),
-                _ => None,
-            }
-        }
-
-        /// This process's pid.
-        pub fn pid(&self) -> Pid {
-            self.pid
+            Session::start(FilterCore::new(shape, pid, policy), sessions)
         }
 
         /// All ME critical sections currently held, as
         /// `(name, level, block_index)` triples — the resource Lemma 6
         /// says no two processes share.
         pub fn won_blocks(&self) -> Vec<(Name, usize, u64)> {
+            let pid = self.core().pid;
             let collect = |names: &[Name], conf: &dyn Fn(usize) -> usize| {
                 let mut out = Vec::new();
                 for (i, &m) in names.iter().enumerate() {
                     for level in 1..=conf(i) {
-                        out.push((m, level, TreeShape::block_index(self.pid, level)));
+                        out.push((m, level, TreeShape::block_index(pid, level)));
                     }
                 }
                 out
             };
-            match &self.phase {
-                Phase::Idle => Vec::new(),
-                Phase::Acquiring(a) => collect(a.names(), &|i| a.confirmed_level(i)),
-                Phase::EagerReleasing { losers, winner } => {
-                    let mut out = collect(losers.names(), &|i| losers.confirmed_level(i));
-                    out.extend(collect(winner.names(), &|i| winner.confirmed_level(i)));
+            match self.phase() {
+                SessionPhase::Idle => Vec::new(),
+                SessionPhase::Acquiring(a) => collect(a.names(), &|i| a.confirmed_level(i)),
+                SessionPhase::Prologue { rel, token } => {
+                    let mut out = collect(rel.names(), &|i| rel.confirmed_level(i));
+                    out.extend(collect(token.names(), &|i| token.confirmed_level(i)));
                     out
                 }
-                Phase::Holding(pos) => collect(pos.names(), &|i| pos.confirmed_level(i)),
-                Phase::Releasing(r) => collect(r.names(), &|i| r.confirmed_level(i)),
-            }
-        }
-    }
-
-    impl StepMachine for FilterUser {
-        fn step(&mut self, mem: &dyn Memory) -> MachineStatus {
-            match &mut self.phase {
-                Phase::Idle => {
-                    let mut a = FilterAcquire::new(self.shape.clone(), self.pid);
-                    match a.step(mem) {
-                        Some(_) => self.phase = Phase::Holding(a.into_position()),
-                        None => self.phase = Phase::Acquiring(a),
-                    }
-                    MachineStatus::Running
-                }
-                Phase::Acquiring(a) => {
-                    if a.step(mem).is_some() {
-                        let a = std::mem::replace(
-                            a,
-                            FilterAcquire::new(self.shape.clone(), self.pid),
-                        );
-                        let pos = a.into_position();
-                        self.phase = match self.policy {
-                            ReleasePolicy::AtReleaseName => Phase::Holding(pos),
-                            ReleasePolicy::EagerLosers => {
-                                let (winner, losers) = pos.split_winner();
-                                Phase::EagerReleasing {
-                                    losers: FilterRelease::new(
-                                        self.shape.clone(),
-                                        self.pid,
-                                        losers,
-                                    ),
-                                    winner,
-                                }
-                            }
-                        };
-                    }
-                    MachineStatus::Running
-                }
-                Phase::EagerReleasing { losers, winner } => {
-                    if losers.step(mem) {
-                        let winner = winner.clone();
-                        self.phase = Phase::Holding(winner);
-                    }
-                    MachineStatus::Running
-                }
-                Phase::Holding(pos) => {
-                    let pos = pos.clone();
-                    let mut r = FilterRelease::new(self.shape.clone(), self.pid, pos);
-                    if r.step(mem) {
-                        self.finish_session()
-                    } else {
-                        self.phase = Phase::Releasing(r);
-                        MachineStatus::Running
-                    }
-                }
-                Phase::Releasing(r) => {
-                    if r.step(mem) {
-                        self.finish_session()
-                    } else {
-                        MachineStatus::Running
-                    }
-                }
-            }
-        }
-
-        fn key(&self, out: &mut Vec<Word>) {
-            out.push(self.sessions_left as u64);
-            match &self.phase {
-                Phase::Idle => out.push(0),
-                Phase::Acquiring(a) => {
-                    out.push(1);
-                    a.key(out);
-                }
-                Phase::EagerReleasing { losers, winner } => {
-                    out.push(4);
-                    losers.key(out);
-                    out.push(winner.name().map_or(u64::MAX, |n| n));
-                }
-                Phase::Holding(pos) => {
-                    out.push(2);
-                    out.push(pos.name().map_or(u64::MAX, |n| n));
-                    for i in 0..pos.names().len() {
-                        out.push(pos.confirmed_level(i) as u64);
-                        pos.progress[i].key(out);
-                    }
-                }
-                Phase::Releasing(r) => {
-                    out.push(3);
-                    r.key(out);
-                }
-            }
-        }
-
-        fn describe(&self) -> String {
-            let phase = match &self.phase {
-                Phase::Idle => "Idle".into(),
-                Phase::Acquiring(a) => a.describe(),
-                Phase::EagerReleasing { losers, .. } => {
-                    format!("Eager{}", losers.describe())
-                }
-                Phase::Holding(pos) => format!("Holding({:?})", pos.name()),
-                Phase::Releasing(r) => r.describe(),
-            };
-            format!("p{}:{phase} ({} left)", self.pid, self.sessions_left)
-        }
-    }
-
-    impl FilterUser {
-        fn finish_session(&mut self) -> MachineStatus {
-            self.sessions_left -= 1;
-            self.phase = Phase::Idle;
-            if self.sessions_left == 0 {
-                MachineStatus::Done
-            } else {
-                MachineStatus::Running
+                SessionPhase::Holding(pos) => collect(pos.names(), &|i| pos.confirmed_level(i)),
+                SessionPhase::Releasing(r) => collect(r.names(), &|i| r.confirmed_level(i)),
             }
         }
     }
 
     /// Concurrently held names are pairwise distinct and inside `[0, D)`.
     pub fn unique_names_invariant(world: &World<'_, FilterUser>) -> Result<(), String> {
-        let mut held = std::collections::HashMap::new();
-        for (i, m) in world.machines.iter().enumerate() {
-            if let Some(name) = m.holding() {
-                let d = m.shape.params.dest_size();
-                if name >= d {
-                    return Err(format!("machine {i} holds out-of-range name {name}"));
-                }
-                if let Some(j) = held.insert(name, i) {
-                    return Err(format!(
-                        "machines {j} and {i} concurrently hold name {name}"
-                    ));
-                }
-            }
-        }
-        Ok(())
+        crate::session::unique_names_invariant(world)
     }
 
     /// Lemma 6, globally: no ME critical section is held by two processes.
@@ -943,15 +829,11 @@ pub mod spec {
         sessions: u8,
         policy: ReleasePolicy,
     ) -> Result<CheckStats, Box<Violation>> {
-        match checker_with_policy(params, participants, sessions, policy)
-            .check(combined_invariant)
-        {
-            Ok(stats) => Ok(stats),
-            Err(llr_mc::CheckError::Violation(v)) => Err(v),
-            Err(e) => {
-                panic!("FILTER exploration exceeded the state budget: {e}")
-            }
-        }
+        crate::session::run_check(
+            checker_with_policy(params, participants, sessions, policy),
+            &crate::session::Engine::Sequential,
+            combined_invariant,
+        )
     }
 
     /// Both FILTER invariants in one closure-compatible function:
@@ -1000,13 +882,11 @@ pub mod spec {
         participants: &[Pid],
         sessions: u8,
     ) -> Result<CheckStats, Box<Violation>> {
-        match checker(params, participants, sessions).check(combined_invariant) {
-            Ok(stats) => Ok(stats),
-            Err(llr_mc::CheckError::Violation(v)) => Err(v),
-            Err(e) => {
-                panic!("FILTER exploration exceeded the state budget: {e}")
-            }
-        }
+        crate::session::run_check(
+            checker(params, participants, sessions),
+            &crate::session::Engine::Sequential,
+            combined_invariant,
+        )
     }
 }
 
@@ -1014,6 +894,8 @@ pub mod spec {
 mod tests {
     use super::*;
     use crate::traits::test_support::sequential_cycle;
+    use crate::traits::RenamingHandle;
+    use llr_mem::Counting;
 
     /// The smallest interesting instance: k=2, d=1, z=2, S=4.
     fn tiny_params() -> FilterParams {

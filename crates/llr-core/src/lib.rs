@@ -49,6 +49,7 @@ pub mod harness;
 pub mod ma;
 pub mod onetime;
 pub mod pf;
+pub mod session;
 pub mod split;
 pub mod splitter;
 pub mod tas;
@@ -56,5 +57,6 @@ pub mod tournament;
 pub mod traits;
 pub mod types;
 
+pub use session::{Handle, ProtocolCore, Session, SessionPhase};
 pub use traits::{Renaming, RenamingHandle};
 pub use types::{Direction, Name, Pid};

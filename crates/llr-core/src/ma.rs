@@ -52,10 +52,11 @@
 //! h.release();
 //! ```
 
-use crate::traits::{Renaming, RenamingHandle};
+use crate::session::{Handle, ProtocolCore, Session};
+use crate::traits::Renaming;
 use crate::types::enc::{FALSE, TRUE};
 use crate::types::{Name, Pid};
-use llr_mem::{ArrayLoc, AtomicMemory, Counting, Layout, Loc, Memory, Word};
+use llr_mem::{ArrayLoc, AtomicMemory, Layout, Loc, Memory, Word};
 use std::sync::Arc;
 
 /// Outcome of one building-block access.
@@ -350,6 +351,97 @@ impl MaRelease {
     }
 }
 
+/// MA's [`ProtocolCore`]: one process's view of the grid. The acquire
+/// machine is [`MaAcquire`] (the `Θ(S)`-scan grid walk), the release
+/// machine is [`MaRelease`] (one presence-bit clear), and the token is
+/// the stop cell.
+#[derive(Clone, Debug)]
+pub struct MaCore {
+    shape: MaShape,
+    pid: Pid,
+}
+
+impl MaCore {
+    /// A core for process `pid` on the grid described by `shape`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid ≥ S`.
+    pub fn new(shape: MaShape, pid: Pid) -> Self {
+        assert!(pid < shape.s, "pid {pid} outside source space {}", shape.s);
+        Self { shape, pid }
+    }
+
+    /// The grid shape.
+    pub fn shape(&self) -> &MaShape {
+        &self.shape
+    }
+}
+
+impl ProtocolCore for MaCore {
+    type Acquire = MaAcquire;
+    /// The stop cell `(r, c)` whose presence bit the release clears.
+    type Token = (usize, usize);
+    type Release = MaRelease;
+
+    // Idle → Acquiring is a pure local transition; the walk's first write
+    // is its own scheduled step.
+    const LAZY_START: bool = true;
+
+    fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    fn begin_acquire(&self) -> MaAcquire {
+        MaAcquire::new(self.shape.clone(), self.pid)
+    }
+
+    fn step_acquire(&self, a: &mut MaAcquire, mem: &dyn Memory) -> Option<(usize, usize)> {
+        a.step(mem).map(|_| a.stopped_at().expect("stopped"))
+    }
+
+    fn begin_release(&self, cell: (usize, usize)) -> MaRelease {
+        MaRelease::new(self.shape.clone(), self.pid, cell)
+    }
+
+    fn step_release(&self, r: &mut MaRelease, mem: &dyn Memory) -> bool {
+        r.step(mem)
+    }
+
+    fn token_name(&self, cell: &(usize, usize)) -> Option<Name> {
+        Some(self.shape.cell_name(cell.0, cell.1))
+    }
+
+    fn dest_size(&self) -> u64 {
+        (self.shape.k * (self.shape.k + 1) / 2) as u64
+    }
+
+    fn key_acquire(&self, a: &MaAcquire, out: &mut Vec<Word>) {
+        a.key(out);
+    }
+
+    fn key_token(&self, cell: &(usize, usize), out: &mut Vec<Word>) {
+        out.push(cell.0 as u64);
+        out.push(cell.1 as u64);
+    }
+
+    fn key_release(&self, r: &MaRelease, out: &mut Vec<Word>) {
+        r.key(out);
+    }
+
+    fn describe_acquire(&self, a: &MaAcquire) -> String {
+        a.describe()
+    }
+
+    fn describe_token(&self, cell: &(usize, usize)) -> String {
+        format!("Holding({},{})", cell.0, cell.1)
+    }
+
+    fn describe_release(&self, r: &MaRelease) -> String {
+        format!("Releasing({},{})", r.cell.0, r.cell.1)
+    }
+}
+
 /// The MA-style grid renaming object.
 #[derive(Debug)]
 pub struct MaGrid {
@@ -385,17 +477,7 @@ impl Renaming for MaGrid {
     type Handle<'a> = MaHandle<'a>;
 
     fn handle(&self, pid: Pid) -> MaHandle<'_> {
-        assert!(
-            pid < self.shape.s,
-            "pid {pid} outside source space of size {}",
-            self.shape.s
-        );
-        MaHandle {
-            grid: self,
-            pid,
-            cell: None,
-            accesses: 0,
-        }
+        Handle::new(MaCore::new(self.shape.clone(), pid), &self.mem)
     }
 
     fn source_size(&self) -> u64 {
@@ -411,170 +493,33 @@ impl Renaming for MaGrid {
     }
 }
 
-/// Process handle on a [`MaGrid`].
-#[derive(Debug)]
-pub struct MaHandle<'a> {
-    grid: &'a MaGrid,
-    pid: Pid,
-    cell: Option<(usize, usize)>,
-    accesses: u64,
-}
-
-impl RenamingHandle for MaHandle<'_> {
-    fn acquire(&mut self) -> Name {
-        assert!(self.cell.is_none(), "acquire while holding a name");
-        let mem = Counting::new(&self.grid.mem);
-        let mut m = MaAcquire::new(self.grid.shape.clone(), self.pid);
-        let name = loop {
-            if let Some(name) = m.step(&mem) {
-                break name;
-            }
-        };
-        self.accesses += mem.accesses();
-        self.cell = m.stopped_at();
-        name
-    }
-
-    fn release(&mut self) {
-        let cell = self.cell.take().expect("release without holding a name");
-        let mem = Counting::new(&self.grid.mem);
-        let mut m = MaRelease::new(self.grid.shape.clone(), self.pid, cell);
-        while !m.step(&mem) {}
-        self.accesses += mem.accesses();
-    }
-
-    fn pid(&self) -> Pid {
-        self.pid
-    }
-
-    fn held(&self) -> Option<Name> {
-        self.cell
-            .map(|(r, c)| self.grid.shape.cell_name(r, c))
-    }
-
-    fn accesses(&self) -> u64 {
-        self.accesses
-    }
-}
+/// Process handle on a [`MaGrid`]: the generic session handle driving
+/// [`MaCore`]'s machines.
+pub type MaHandle<'a> = Handle<'a, MaCore>;
 
 pub mod spec {
     //! Model-checkable specification of the MA grid: name uniqueness
-    //! under every interleaving.
+    //! under every interleaving. The session loop, key encoding, and
+    //! invariant are all the generic ones from [`crate::session`].
 
     use super::*;
-    use llr_mc::{CheckStats, MachineStatus, ModelChecker, StepMachine, Violation, World};
+    use crate::session::{run_check, Engine};
+    use llr_mc::{CheckStats, ModelChecker, Violation, World};
 
-    #[derive(Clone, Debug)]
-    enum Phase {
-        Idle,
-        Acquiring(MaAcquire),
-        Holding { cell: (usize, usize) },
-    }
-
-    /// A process performing `sessions` × (`GetName`; dwell; `ReleaseName`).
-    #[derive(Clone, Debug)]
-    pub struct MaUser {
-        shape: MaShape,
-        pid: Pid,
-        sessions_left: u8,
-        phase: Phase,
-    }
+    /// A process performing `sessions` × (`GetName`; dwell; `ReleaseName`):
+    /// the generic session machine over [`MaCore`].
+    pub type MaUser = Session<MaCore>;
 
     impl MaUser {
         /// A user of the grid described by `shape`.
         pub fn new(shape: MaShape, pid: Pid, sessions: u8) -> Self {
-            Self {
-                shape,
-                pid,
-                sessions_left: sessions,
-                phase: Phase::Idle,
-            }
-        }
-
-        /// The name currently held, if any.
-        pub fn holding(&self) -> Option<Name> {
-            match &self.phase {
-                Phase::Holding { cell } => Some(self.shape.cell_name(cell.0, cell.1)),
-                _ => None,
-            }
-        }
-    }
-
-    impl StepMachine for MaUser {
-        fn step(&mut self, mem: &dyn Memory) -> MachineStatus {
-            match &mut self.phase {
-                Phase::Idle => {
-                    // Pure local transition; the acquire's first shared
-                    // access is its own scheduled step in every build
-                    // profile.
-                    self.phase = Phase::Acquiring(MaAcquire::new(self.shape.clone(), self.pid));
-                    MachineStatus::Running
-                }
-                Phase::Acquiring(m) => {
-                    if m.step(mem).is_some() {
-                        let cell = m.stopped_at().expect("stopped");
-                        self.phase = Phase::Holding { cell };
-                    }
-                    MachineStatus::Running
-                }
-                Phase::Holding { cell } => {
-                    let mut m = MaRelease::new(self.shape.clone(), self.pid, *cell);
-                    let done = m.step(mem);
-                    debug_assert!(done);
-                    self.sessions_left -= 1;
-                    self.phase = Phase::Idle;
-                    if self.sessions_left == 0 {
-                        MachineStatus::Done
-                    } else {
-                        MachineStatus::Running
-                    }
-                }
-            }
-        }
-
-        fn key(&self, out: &mut Vec<Word>) {
-            out.push(self.sessions_left as u64);
-            match &self.phase {
-                Phase::Idle => out.push(0),
-                Phase::Acquiring(m) => {
-                    out.push(1);
-                    m.key(out);
-                }
-                Phase::Holding { cell } => {
-                    out.push(2);
-                    out.push(cell.0 as u64);
-                    out.push(cell.1 as u64);
-                }
-            }
-        }
-
-        fn describe(&self) -> String {
-            let phase = match &self.phase {
-                Phase::Idle => "Idle".into(),
-                Phase::Acquiring(m) => m.describe(),
-                Phase::Holding { cell } => format!("Holding({},{})", cell.0, cell.1),
-            };
-            format!("p{}:{phase} ({} left)", self.pid, self.sessions_left)
+            Session::start(MaCore::new(shape, pid), sessions)
         }
     }
 
     /// Concurrently held names are pairwise distinct and in range.
     pub fn unique_names_invariant(world: &World<'_, MaUser>) -> Result<(), String> {
-        let mut held = std::collections::HashMap::new();
-        for (i, m) in world.machines.iter().enumerate() {
-            if let Some(name) = m.holding() {
-                let d = (m.shape.k * (m.shape.k + 1) / 2) as u64;
-                if name >= d {
-                    return Err(format!("machine {i} holds out-of-range name {name}"));
-                }
-                if let Some(j) = held.insert(name, i) {
-                    return Err(format!(
-                        "machines {j} and {i} concurrently hold name {name}"
-                    ));
-                }
-            }
-        }
-        Ok(())
+        crate::session::unique_names_invariant(world)
     }
 
     /// Builds the model checker for an MA grid over source size `s` with
@@ -602,13 +547,11 @@ pub mod spec {
         pids: &[Pid],
         sessions: u8,
     ) -> Result<CheckStats, Box<Violation>> {
-        match checker(k, s, pids, sessions).check(unique_names_invariant) {
-            Ok(stats) => Ok(stats),
-            Err(llr_mc::CheckError::Violation(v)) => Err(v),
-            Err(e) => {
-                panic!("MA exploration exceeded the state budget: {e}")
-            }
-        }
+        run_check(
+            checker(k, s, pids, sessions),
+            &Engine::Sequential,
+            unique_names_invariant,
+        )
     }
 }
 
@@ -616,6 +559,7 @@ pub mod spec {
 mod tests {
     use super::*;
     use crate::traits::test_support::sequential_cycle;
+    use crate::traits::RenamingHandle;
 
     #[test]
     fn cell_naming_is_triangular() {

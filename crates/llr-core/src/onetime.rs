@@ -239,66 +239,110 @@ impl OneTimeGrid {
     }
 }
 
+/// One-time renaming's [`ProtocolCore`][crate::session::ProtocolCore]:
+/// the grid shape plus one pid. `RELEASES = false` — a session ends the
+/// moment its acquire completes and the name is held forever, which is
+/// exactly what "one-time" means.
+#[derive(Clone, Debug)]
+pub struct OneTimeCore {
+    shape: OneTimeShape,
+    pid: Pid,
+}
+
+impl OneTimeCore {
+    /// A core for process `pid` on the grid described by `shape`.
+    pub fn new(shape: OneTimeShape, pid: Pid) -> Self {
+        Self { shape, pid }
+    }
+}
+
+impl crate::session::ProtocolCore for OneTimeCore {
+    type Acquire = OneTimeAcquire;
+    type Token = Name;
+    /// Never constructed: one-time names are not released.
+    type Release = ();
+
+    // The walk's first write happens in the same scheduled step that
+    // leaves Idle.
+    const LAZY_START: bool = false;
+    const RELEASES: bool = false;
+
+    fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    fn begin_acquire(&self) -> OneTimeAcquire {
+        OneTimeAcquire::new(self.shape.clone(), self.pid)
+    }
+
+    fn step_acquire(&self, a: &mut OneTimeAcquire, mem: &dyn Memory) -> Option<Name> {
+        a.step(mem)
+    }
+
+    fn begin_release(&self, _name: Name) {}
+
+    fn step_release(&self, _r: &mut (), _mem: &dyn Memory) -> bool {
+        true
+    }
+
+    fn token_name(&self, name: &Name) -> Option<Name> {
+        Some(*name)
+    }
+
+    fn dest_size(&self) -> u64 {
+        (self.shape.k * (self.shape.k + 1) / 2) as u64
+    }
+
+    fn key_acquire(&self, a: &OneTimeAcquire, out: &mut Vec<Word>) {
+        a.key(out);
+    }
+
+    fn key_token(&self, name: &Name, out: &mut Vec<Word>) {
+        out.push(*name);
+    }
+
+    fn key_release(&self, _r: &(), out: &mut Vec<Word>) {
+        out.push(0);
+    }
+
+    fn describe_acquire(&self, a: &OneTimeAcquire) -> String {
+        a.describe()
+    }
+
+    fn describe_release(&self, _r: &()) -> String {
+        "Releasing".into()
+    }
+}
+
 pub mod spec {
-    //! Model-checkable specification of the one-time grid.
+    //! Model-checkable specification of the one-time grid. The session
+    //! loop, key encoding, and invariant are the generic ones from
+    //! [`crate::session`].
 
     use super::*;
-    use llr_mc::{CheckStats, MachineStatus, ModelChecker, StepMachine, Violation, World};
+    use crate::session::{run_check, Engine, Session};
+    use llr_mc::{CheckStats, ModelChecker, Violation, World};
 
-    /// A process acquiring its single one-time name.
-    #[derive(Clone, Debug)]
-    pub struct OneTimeUser {
-        machine: OneTimeAcquire,
-        done: bool,
-    }
+    /// A process acquiring its single one-time name: the generic session
+    /// machine over [`OneTimeCore`] (one session, no release).
+    pub type OneTimeUser = Session<OneTimeCore>;
 
     impl OneTimeUser {
         /// A one-shot user with identity `pid`.
         pub fn new(shape: OneTimeShape, pid: Pid) -> Self {
-            Self {
-                machine: OneTimeAcquire::new(shape, pid),
-                done: false,
-            }
+            Session::start(OneTimeCore::new(shape, pid), 1)
         }
 
         /// The acquired name, once done.
         pub fn name(&self) -> Option<Name> {
-            self.machine.name
-        }
-    }
-
-    impl StepMachine for OneTimeUser {
-        fn step(&mut self, mem: &dyn Memory) -> MachineStatus {
-            if self.machine.step(mem).is_some() {
-                self.done = true;
-                MachineStatus::Done
-            } else {
-                MachineStatus::Running
-            }
-        }
-
-        fn key(&self, out: &mut Vec<Word>) {
-            out.push(u64::from(self.done));
-            self.machine.key(out);
-        }
-
-        fn describe(&self) -> String {
-            self.machine.describe()
+            self.holding()
         }
     }
 
     /// All acquired names distinct and in range (forever — one-time names
     /// are never released).
     pub fn unique_names_invariant(world: &World<'_, OneTimeUser>) -> Result<(), String> {
-        let mut held = std::collections::HashMap::new();
-        for (i, m) in world.machines.iter().enumerate() {
-            if let Some(name) = m.name() {
-                if let Some(j) = held.insert(name, i) {
-                    return Err(format!("machines {j} and {i} both acquired name {name}"));
-                }
-            }
-        }
-        Ok(())
+        crate::session::unique_names_invariant(world)
     }
 
     /// Builds the model checker for a one-time grid with `pids.len() ≤ k`
@@ -322,13 +366,7 @@ pub mod spec {
     /// Returns the violating schedule if two processes can acquire the
     /// same name.
     pub fn check_onetime(k: usize, pids: &[Pid]) -> Result<CheckStats, Box<Violation>> {
-        match checker(k, pids).check(unique_names_invariant) {
-            Ok(stats) => Ok(stats),
-            Err(llr_mc::CheckError::Violation(v)) => Err(v),
-            Err(e) => {
-                panic!("one-time exploration exceeded the state budget: {e}")
-            }
-        }
+        run_check(checker(k, pids), &Engine::Sequential, unique_names_invariant)
     }
 }
 

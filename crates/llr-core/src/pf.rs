@@ -46,6 +46,7 @@
 //! [`spec`] (experiment E8).
 
 use crate::types::enc::{BIT0, BIT1, ENTERING, NIL};
+use crate::types::Pid;
 use llr_mem::{Layout, Loc, Memory, Word};
 
 /// A competitor's side of an ME block: `0` = left subtree, `1` = right.
@@ -184,116 +185,148 @@ pub fn valid_reg_value(w: Word) -> bool {
     w == NIL || w == BIT0 || w == BIT1 || w == ENTERING
 }
 
+/// The ME block's [`ProtocolCore`][crate::session::ProtocolCore]: one
+/// competitor's side and the block's registers. The "acquire" is the
+/// composite enter-then-spin of [`MeAcquire`]; the token is the cached
+/// own-register value while holding the critical section; the release is
+/// the single `nil` write.
+#[derive(Clone, Copy, Debug)]
+pub struct MeCore {
+    regs: MeRegs,
+    side: Side,
+}
+
+impl MeCore {
+    /// A core for the direction-`side` competitor on block `regs`.
+    pub fn new(regs: MeRegs, side: Side) -> Self {
+        Self { regs, side }
+    }
+
+    /// The competitor's direction.
+    pub fn side(&self) -> Side {
+        self.side
+    }
+}
+
+/// PF's composite acquire machine: `Enter` once, then spin on [`check`].
+#[derive(Clone, Copy, Debug)]
+pub enum MeAcquire {
+    /// Executing the 3-access `Enter`.
+    Entering(MeEnter),
+    /// Spinning on `check` with the cached own value.
+    Waiting {
+        /// The own-register value the matching `Enter` settled on.
+        own: Word,
+    },
+}
+
+impl crate::session::ProtocolCore for MeCore {
+    type Acquire = MeAcquire;
+    /// The own-register value held while inside the critical section.
+    type Token = Word;
+    type Release = ();
+
+    // Pure local transition; the op's first shared access is its own
+    // scheduled step in every build profile.
+    const LAZY_START: bool = true;
+
+    fn pid(&self) -> Pid {
+        self.side as Pid
+    }
+
+    fn begin_acquire(&self) -> MeAcquire {
+        MeAcquire::Entering(MeEnter::new(self.side))
+    }
+
+    fn step_acquire(&self, a: &mut MeAcquire, mem: &dyn Memory) -> Option<Word> {
+        match a {
+            MeAcquire::Entering(op) => {
+                if let Some(own) = op.step(&self.regs, mem) {
+                    *a = MeAcquire::Waiting { own };
+                }
+                None
+            }
+            MeAcquire::Waiting { own } => {
+                if check(&self.regs, self.side, *own, mem) {
+                    Some(*own)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    fn begin_release(&self, _own: Word) {}
+
+    fn step_release(&self, _r: &mut (), mem: &dyn Memory) -> bool {
+        release(&self.regs, self.side, mem);
+        true
+    }
+
+    fn key_acquire(&self, a: &MeAcquire, out: &mut Vec<Word>) {
+        match a {
+            MeAcquire::Entering(op) => {
+                out.push(0);
+                op.key(out);
+            }
+            MeAcquire::Waiting { own } => {
+                out.push(1);
+                out.push(*own);
+            }
+        }
+    }
+
+    fn key_token(&self, own: &Word, out: &mut Vec<Word>) {
+        out.push(*own);
+    }
+
+    fn key_release(&self, _r: &(), out: &mut Vec<Word>) {
+        out.push(0);
+    }
+
+    fn describe_actor(&self) -> String {
+        format!("β{}", self.side)
+    }
+
+    fn describe_acquire(&self, a: &MeAcquire) -> String {
+        match a {
+            MeAcquire::Entering(op) => op.describe(),
+            MeAcquire::Waiting { .. } => "Waiting".into(),
+        }
+    }
+
+    fn describe_token(&self, _own: &Word) -> String {
+        "CRITICAL".into()
+    }
+
+    fn describe_release(&self, _r: &()) -> String {
+        "Releasing".into()
+    }
+}
+
 pub mod spec {
     //! Model-checkable specification: two competitors repeatedly entering,
-    //! spinning on `check`, and releasing one ME block.
+    //! spinning on `check`, and releasing one ME block. The session loop
+    //! and key encoding are the generic ones from [`crate::session`].
 
     use super::*;
-    use llr_mc::{CheckStats, MachineStatus, ModelChecker, StepMachine, Violation, World};
-
-    #[derive(Clone, Debug)]
-    enum Phase {
-        Idle,
-        Entering(MeEnter),
-        /// Spinning on `check` with the cached own value.
-        Waiting {
-            own: Word,
-        },
-        /// `check` returned true; holding the critical section.
-        Critical {
-            own: Word,
-        },
-    }
+    use crate::session::{run_check, Engine, Session};
+    use llr_mc::{CheckStats, ModelChecker, Violation, World};
 
     /// One competitor performing `sessions` × (enter; spin; critical;
-    /// release) from a fixed side.
-    #[derive(Clone, Debug)]
-    pub struct MeUser {
-        regs: MeRegs,
-        side: Side,
-        sessions_left: u8,
-        phase: Phase,
-    }
+    /// release) from a fixed side: the generic session machine over
+    /// [`MeCore`].
+    pub type MeUser = Session<MeCore>;
 
     impl MeUser {
         /// A competitor on `regs` from direction `side`.
         pub fn new(regs: MeRegs, side: Side, sessions: u8) -> Self {
-            Self {
-                regs,
-                side,
-                sessions_left: sessions,
-                phase: Phase::Idle,
-            }
+            Session::start(MeCore::new(regs, side), sessions)
         }
 
         /// `true` iff currently inside the critical section.
         pub fn in_critical(&self) -> bool {
-            matches!(self.phase, Phase::Critical { .. })
-        }
-    }
-
-    impl StepMachine for MeUser {
-        fn step(&mut self, mem: &dyn Memory) -> MachineStatus {
-            match &mut self.phase {
-                Phase::Idle => {
-                    // Pure local transition; the op's first shared access
-                    // is its own scheduled step in every build profile.
-                    self.phase = Phase::Entering(MeEnter::new(self.side));
-                    MachineStatus::Running
-                }
-                Phase::Entering(op) => {
-                    if let Some(own) = op.step(&self.regs, mem) {
-                        self.phase = Phase::Waiting { own };
-                    }
-                    MachineStatus::Running
-                }
-                Phase::Waiting { own } => {
-                    let own = *own;
-                    if check(&self.regs, self.side, own, mem) {
-                        self.phase = Phase::Critical { own };
-                    }
-                    MachineStatus::Running
-                }
-                Phase::Critical { .. } => {
-                    release(&self.regs, self.side, mem);
-                    self.sessions_left -= 1;
-                    self.phase = Phase::Idle;
-                    if self.sessions_left == 0 {
-                        MachineStatus::Done
-                    } else {
-                        MachineStatus::Running
-                    }
-                }
-            }
-        }
-
-        fn key(&self, out: &mut Vec<Word>) {
-            out.push(self.sessions_left as u64);
-            match &self.phase {
-                Phase::Idle => out.push(0),
-                Phase::Entering(op) => {
-                    out.push(1);
-                    op.key(out);
-                }
-                Phase::Waiting { own } => {
-                    out.push(2);
-                    out.push(*own);
-                }
-                Phase::Critical { own } => {
-                    out.push(3);
-                    out.push(*own);
-                }
-            }
-        }
-
-        fn describe(&self) -> String {
-            let phase = match &self.phase {
-                Phase::Idle => "Idle".into(),
-                Phase::Entering(op) => op.describe(),
-                Phase::Waiting { .. } => "Waiting".into(),
-                Phase::Critical { .. } => "CRITICAL".into(),
-            };
-            format!("β{}:{phase} ({} left)", self.side, self.sessions_left)
+            self.holding_token().is_some()
         }
     }
 
@@ -312,18 +345,18 @@ pub mod spec {
     /// depends only on the registers, testing the current registers
     /// whenever both machines wait is exact.
     pub fn no_deadlock_invariant(world: &World<'_, MeUser>) -> Result<(), String> {
-        let waiting: Vec<&MeUser> = world
+        let waiting: Vec<(&MeCore, Word)> = world
             .machines
             .iter()
-            .filter(|m| matches!(m.phase, Phase::Waiting { .. }))
+            .filter_map(|m| match m.acquiring() {
+                Some(MeAcquire::Waiting { own }) => Some((m.core(), *own)),
+                _ => None,
+            })
             .collect();
         if waiting.len() == 2 {
-            let blocked = waiting.iter().all(|m| {
-                let Phase::Waiting { own } = m.phase else {
-                    unreachable!()
-                };
-                !check(&m.regs, m.side, own, world.mem)
-            });
+            let blocked = waiting
+                .iter()
+                .all(|(core, own)| !check(&core.regs, core.side, *own, world.mem));
             if blocked {
                 return Err("both competitors durably blocked (deadlock)".into());
             }
@@ -350,13 +383,7 @@ pub mod spec {
     ///
     /// Returns the violating schedule if exclusion can be broken.
     pub fn check_exclusion(sessions: u8) -> Result<CheckStats, Box<Violation>> {
-        match checker(sessions).check(mutual_exclusion) {
-            Ok(stats) => Ok(stats),
-            Err(llr_mc::CheckError::Violation(v)) => Err(v),
-            Err(e) => {
-                panic!("ME exploration should be tiny: {e}")
-            }
-        }
+        run_check(checker(sessions), &Engine::Sequential, mutual_exclusion)
     }
 
     /// Exhaustively verifies absence of *stuck* states: in every reachable
@@ -369,13 +396,7 @@ pub mod spec {
     ///
     /// Returns the violating schedule if a deadlock state is reachable.
     pub fn check_no_deadlock(sessions: u8) -> Result<CheckStats, Box<Violation>> {
-        match checker(sessions).check(no_deadlock_invariant) {
-            Ok(stats) => Ok(stats),
-            Err(llr_mc::CheckError::Violation(v)) => Err(v),
-            Err(e) => {
-                panic!("ME exploration should be tiny: {e}")
-            }
-        }
+        run_check(checker(sessions), &Engine::Sequential, no_deadlock_invariant)
     }
 }
 

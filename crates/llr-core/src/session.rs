@@ -1,0 +1,466 @@
+//! The generic session layer: each protocol supplies **one acquire
+//! machine and one release machine** (a [`ProtocolCore`]), and everything
+//! else is derived here, once —
+//!
+//! * [`Session<P>`] — the model-checkable repeated acquire/release loop
+//!   (Idle → Acquiring → Holding → Releasing, `sessions_left` times) with
+//!   a canonical [`StepMachine::key`]/[`StepMachine::describe`] encoding;
+//! * [`Handle<P>`] — the thread-executed [`RenamingHandle`] driving the
+//!   *same* machines over [`AtomicMemory`], so the checked code and the
+//!   benchmarked code are identical by construction;
+//! * [`unique_names_invariant`] — the paper's uniqueness condition,
+//!   parameterized by [`Session::holding`] and the protocol's destination
+//!   bound;
+//! * [`run_check`] — the check driver, selecting the sequential /
+//!   parallel / spill engines through [`Engine`].
+//!
+//! # How a protocol plugs in
+//!
+//! Implement [`ProtocolCore`] on a small per-process value (shape +
+//! pid). The four associated behaviours are the whole contract:
+//!
+//! 1. `begin_acquire` / `step_acquire` — the GetName machine; a step
+//!    performs at most one shared access and yields the [`Token`]
+//!    (name + whatever the release needs) when complete.
+//! 2. `begin_release` / `step_release` — the ReleaseName machine.
+//! 3. `key_*` — injective encodings of each machine's live state
+//!    (everything that influences future behaviour, nothing more).
+//! 4. Two knobs: [`LAZY_START`] (is Idle → Acquiring a pure local
+//!    transition, or does it perform the acquire's first shared access in
+//!    the same scheduled step?) and [`RELEASES`] (`false` for one-shot
+//!    protocols, whose session ends at acquire completion).
+//!
+//! The optional [`prologue`] hook inserts work between acquire completion
+//! and Holding (FILTER's eager-loser release is the one user).
+//!
+//! [`Token`]: ProtocolCore::Token
+//! [`LAZY_START`]: ProtocolCore::LAZY_START
+//! [`RELEASES`]: ProtocolCore::RELEASES
+//! [`prologue`]: ProtocolCore::prologue
+
+use crate::traits::RenamingHandle;
+use crate::types::{Name, Pid};
+use llr_mc::{CheckError, CheckStats, MachineStatus, ModelChecker, StepMachine, Violation, World};
+use llr_mem::{AtomicMemory, Counting, Memory, Word};
+use std::collections::HashMap;
+use std::fmt::Debug;
+
+pub use llr_mc::Engine;
+
+/// A protocol's per-process view: shape + pid + the two step machines.
+///
+/// One `ProtocolCore` impl per protocol replaces the hand-rolled session
+/// `Phase` enum, `StepMachine` impl, threaded handle loop, and uniqueness
+/// invariant that each `spec` module used to carry.
+pub trait ProtocolCore: Clone + Debug + Send + Sync {
+    /// The in-progress GetName machine.
+    type Acquire: Clone + Debug + Send + Sync;
+    /// What a session holds between acquire and release: the name plus
+    /// whatever the release machine needs (paths, grid cells, own-values).
+    type Token: Clone + Debug + Send + Sync;
+    /// The in-progress ReleaseName machine.
+    type Release: Clone + Debug + Send + Sync;
+
+    /// `true` iff Idle → Acquiring is a pure local transition (the
+    /// acquire's first shared access is its own scheduled step, in every
+    /// build profile). `false` protocols create *and step once* in the
+    /// Idle step.
+    const LAZY_START: bool;
+    /// `false` for one-shot protocols: the session ends
+    /// ([`MachineStatus::Done`]) the moment the acquire completes, and the
+    /// token is held forever.
+    const RELEASES: bool = true;
+
+    /// The process id this core acts for (constant, so never keyed).
+    fn pid(&self) -> Pid;
+
+    /// A fresh GetName machine.
+    fn begin_acquire(&self) -> Self::Acquire;
+
+    /// One acquire step: at most one shared access; `Some(token)` exactly
+    /// when GetName completes (the same scheduled step as its last
+    /// access).
+    fn step_acquire(&self, a: &mut Self::Acquire, mem: &dyn Memory) -> Option<Self::Token>;
+
+    /// Work between acquire completion and Holding, run in its own phase
+    /// (FILTER's eager loser release). Returning `Some(rel)` routes the
+    /// session through [`SessionPhase::Prologue`]; the default is none.
+    fn prologue(&self, _token: &mut Self::Token) -> Option<Self::Release> {
+        None
+    }
+
+    /// A fresh ReleaseName machine for a held token.
+    fn begin_release(&self, token: Self::Token) -> Self::Release;
+
+    /// One release step: at most one shared access; `true` when
+    /// ReleaseName is complete. A release that is already trivially
+    /// complete (e.g. an empty SPLIT path) returns `true` without any
+    /// access.
+    fn step_release(&self, r: &mut Self::Release, mem: &dyn Memory) -> bool;
+
+    /// The destination name a held token maps to. `None` for the mutex
+    /// building blocks (splitter, PF, tournament), which hand out
+    /// directions and critical sections rather than names.
+    fn token_name(&self, _token: &Self::Token) -> Option<Name> {
+        None
+    }
+
+    /// Destination-space bound `D` for [`unique_names_invariant`].
+    fn dest_size(&self) -> u64 {
+        u64::MAX
+    }
+
+    /// Injective encoding of an acquire machine's live state.
+    fn key_acquire(&self, a: &Self::Acquire, out: &mut Vec<Word>);
+    /// Injective encoding of a held token's live state.
+    fn key_token(&self, t: &Self::Token, out: &mut Vec<Word>);
+    /// Injective encoding of a release machine's live state.
+    fn key_release(&self, r: &Self::Release, out: &mut Vec<Word>);
+    /// Encoding of the Prologue phase; the default concatenates release
+    /// and token keys. Override only to preserve a protocol's historical
+    /// coarser encoding.
+    fn key_prologue(&self, rel: &Self::Release, token: &Self::Token, out: &mut Vec<Word>) {
+        self.key_release(rel, out);
+        self.key_token(token, out);
+    }
+
+    /// Actor label for traces (`p7`, `β0`, …).
+    fn describe_actor(&self) -> String {
+        format!("p{}", self.pid())
+    }
+    /// One-line description of an acquire machine's state.
+    fn describe_acquire(&self, a: &Self::Acquire) -> String;
+    /// One-line description of a held token.
+    fn describe_token(&self, t: &Self::Token) -> String {
+        match self.token_name(t) {
+            Some(n) => format!("Holding({n})"),
+            None => "Holding".into(),
+        }
+    }
+    /// One-line description of a release machine's state.
+    fn describe_release(&self, r: &Self::Release) -> String;
+}
+
+/// Where a [`Session`] is in its current acquire/release cycle.
+#[derive(Clone, Debug)]
+pub enum SessionPhase<P: ProtocolCore> {
+    /// Between sessions (also the initial state).
+    Idle,
+    /// GetName in progress.
+    Acquiring(P::Acquire),
+    /// Between acquire completion and Holding (eager-loser release).
+    Prologue {
+        /// The in-flight prologue release machine.
+        rel: P::Release,
+        /// The token the session will hold once the prologue completes.
+        token: P::Token,
+    },
+    /// A token is held.
+    Holding(P::Token),
+    /// ReleaseName in progress.
+    Releasing(P::Release),
+}
+
+/// A process running `sessions` repeated acquire/release cycles of
+/// protocol `P` — the single [`StepMachine`] the model checker explores
+/// for every protocol.
+#[derive(Clone, Debug)]
+pub struct Session<P: ProtocolCore> {
+    core: P,
+    sessions_left: u8,
+    phase: SessionPhase<P>,
+}
+
+impl<P: ProtocolCore> Session<P> {
+    /// A session machine for `core` that will run `sessions ≥ 1` full
+    /// acquire/release cycles (one-shot protocols ignore the count and
+    /// finish at the first acquire).
+    pub fn start(core: P, sessions: u8) -> Self {
+        assert!(sessions >= 1, "a session machine needs at least one session");
+        Self {
+            core,
+            sessions_left: sessions,
+            phase: SessionPhase::Idle,
+        }
+    }
+
+    /// The protocol core (shape + pid) this session runs.
+    pub fn core(&self) -> &P {
+        &self.core
+    }
+
+    /// The current phase.
+    pub fn phase(&self) -> &SessionPhase<P> {
+        &self.phase
+    }
+
+    /// Full cycles still to run, counting the current one.
+    pub fn sessions_left(&self) -> u8 {
+        self.sessions_left
+    }
+
+    /// The name currently held, if the session is in [`SessionPhase::Holding`]
+    /// and the protocol hands out names.
+    pub fn holding(&self) -> Option<Name> {
+        self.holding_token().and_then(|t| self.core.token_name(t))
+    }
+
+    /// The token currently held, if any.
+    pub fn holding_token(&self) -> Option<&P::Token> {
+        match &self.phase {
+            SessionPhase::Holding(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The in-progress acquire machine, if the session is acquiring.
+    pub fn acquiring(&self) -> Option<&P::Acquire> {
+        match &self.phase {
+            SessionPhase::Acquiring(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    fn finish_session(&mut self) -> MachineStatus {
+        self.phase = SessionPhase::Idle;
+        self.sessions_left -= 1;
+        if self.sessions_left == 0 {
+            MachineStatus::Done
+        } else {
+            MachineStatus::Running
+        }
+    }
+
+    /// Routes a completed acquire to Prologue / Holding / Done.
+    fn acquired(&mut self, mut token: P::Token) -> MachineStatus {
+        if !P::RELEASES {
+            self.phase = SessionPhase::Holding(token);
+            return MachineStatus::Done;
+        }
+        match self.core.prologue(&mut token) {
+            Some(rel) => self.phase = SessionPhase::Prologue { rel, token },
+            None => self.phase = SessionPhase::Holding(token),
+        }
+        MachineStatus::Running
+    }
+}
+
+impl<P: ProtocolCore> StepMachine for Session<P> {
+    fn step(&mut self, mem: &dyn Memory) -> MachineStatus {
+        match &mut self.phase {
+            SessionPhase::Idle => {
+                let mut a = self.core.begin_acquire();
+                if P::LAZY_START {
+                    // Pure local transition; the acquire's first shared
+                    // access is its own scheduled step.
+                    self.phase = SessionPhase::Acquiring(a);
+                    MachineStatus::Running
+                } else {
+                    match self.core.step_acquire(&mut a, mem) {
+                        Some(token) => self.acquired(token),
+                        None => {
+                            self.phase = SessionPhase::Acquiring(a);
+                            MachineStatus::Running
+                        }
+                    }
+                }
+            }
+            SessionPhase::Acquiring(a) => match self.core.step_acquire(a, mem) {
+                Some(token) => self.acquired(token),
+                None => MachineStatus::Running,
+            },
+            SessionPhase::Prologue { rel, token } => {
+                if self.core.step_release(rel, mem) {
+                    let token = token.clone();
+                    self.phase = SessionPhase::Holding(token);
+                }
+                MachineStatus::Running
+            }
+            SessionPhase::Holding(token) => {
+                // One-shot sessions return Done while Holding and are
+                // never stepped again, so reaching here implies RELEASES.
+                let mut r = self.core.begin_release(token.clone());
+                if self.core.step_release(&mut r, mem) {
+                    self.finish_session()
+                } else {
+                    self.phase = SessionPhase::Releasing(r);
+                    MachineStatus::Running
+                }
+            }
+            SessionPhase::Releasing(r) => {
+                if self.core.step_release(r, mem) {
+                    self.finish_session()
+                } else {
+                    MachineStatus::Running
+                }
+            }
+        }
+    }
+
+    fn key(&self, out: &mut Vec<Word>) {
+        out.push(self.sessions_left as u64);
+        match &self.phase {
+            SessionPhase::Idle => out.push(0),
+            SessionPhase::Acquiring(a) => {
+                out.push(1);
+                self.core.key_acquire(a, out);
+            }
+            SessionPhase::Holding(t) => {
+                out.push(2);
+                self.core.key_token(t, out);
+            }
+            SessionPhase::Releasing(r) => {
+                out.push(3);
+                self.core.key_release(r, out);
+            }
+            SessionPhase::Prologue { rel, token } => {
+                out.push(4);
+                self.core.key_prologue(rel, token, out);
+            }
+        }
+    }
+
+    fn describe(&self) -> String {
+        let phase = match &self.phase {
+            SessionPhase::Idle => "Idle".into(),
+            SessionPhase::Acquiring(a) => self.core.describe_acquire(a),
+            SessionPhase::Prologue { rel, .. } => {
+                format!("Prologue({})", self.core.describe_release(rel))
+            }
+            SessionPhase::Holding(t) => self.core.describe_token(t),
+            SessionPhase::Releasing(r) => self.core.describe_release(r),
+        };
+        format!(
+            "{}:{phase} ({} left)",
+            self.core.describe_actor(),
+            self.sessions_left
+        )
+    }
+}
+
+/// The paper's uniqueness condition over any renaming [`Session`] world:
+/// no two machines hold the same name, and every held name is below the
+/// protocol's destination bound `D`.
+pub fn unique_names_invariant<P: ProtocolCore>(
+    world: &World<'_, Session<P>>,
+) -> Result<(), String> {
+    let mut held: HashMap<Name, usize> = HashMap::new();
+    for (i, m) in world.machines.iter().enumerate() {
+        let Some(name) = m.holding() else { continue };
+        let d = m.core().dest_size();
+        if name >= d {
+            return Err(format!("machine {i} holds out-of-range name {name} (D = {d})"));
+        }
+        if let Some(j) = held.insert(name, i) {
+            return Err(format!("machines {j} and {i} concurrently hold name {name}"));
+        }
+    }
+    Ok(())
+}
+
+/// Runs `invariant` over every reachable state of `checker` on the
+/// backend named by `engine`, converting the result into the protocol
+/// `check_*` convention: `Ok(stats)` when verified, the boxed
+/// counterexample when violated.
+///
+/// # Panics
+///
+/// Panics if exploration aborts without a verdict (state budget or I/O),
+/// since a protocol check that did not finish proves nothing.
+pub fn run_check<P, F>(
+    checker: ModelChecker<Session<P>>,
+    engine: &Engine,
+    invariant: F,
+) -> Result<CheckStats, Box<Violation>>
+where
+    P: ProtocolCore,
+    F: Fn(&World<'_, Session<P>>) -> Result<(), String>,
+{
+    match checker.check_with(engine, invariant) {
+        Ok(stats) => Ok(stats),
+        Err(CheckError::Violation(v)) => Err(v),
+        Err(e) => panic!("model checking did not complete: {e}"),
+    }
+}
+
+/// The generic threaded handle: drives the *same* acquire/release
+/// machines the model checker explores, in a loop over [`AtomicMemory`],
+/// with a [`Counting`] wrapper maintaining the paper's shared-access
+/// complexity measure.
+#[derive(Debug)]
+pub struct Handle<'a, P: ProtocolCore> {
+    core: P,
+    mem: &'a AtomicMemory,
+    token: Option<P::Token>,
+    last_acquire: Option<P::Acquire>,
+    accesses: u64,
+}
+
+impl<'a, P: ProtocolCore> Handle<'a, P> {
+    /// A handle driving `core`'s machines over `mem`.
+    pub fn new(core: P, mem: &'a AtomicMemory) -> Self {
+        Self {
+            core,
+            mem,
+            token: None,
+            last_acquire: None,
+            accesses: 0,
+        }
+    }
+
+    /// The protocol core this handle drives.
+    pub fn core(&self) -> &P {
+        &self.core
+    }
+
+    /// The completed acquire machine from the most recent
+    /// [`RenamingHandle::acquire`], for protocol-specific diagnostics
+    /// (e.g. FILTER's check/enter counters).
+    pub fn last_acquire(&self) -> Option<&P::Acquire> {
+        self.last_acquire.as_ref()
+    }
+}
+
+impl<P: ProtocolCore> RenamingHandle for Handle<'_, P> {
+    fn acquire(&mut self) -> Name {
+        assert!(self.token.is_none(), "acquire while holding a name");
+        let mem = Counting::new(self.mem);
+        let mut a = self.core.begin_acquire();
+        let mut token = loop {
+            if let Some(t) = self.core.step_acquire(&mut a, &mem) {
+                break t;
+            }
+        };
+        if let Some(mut rel) = self.core.prologue(&mut token) {
+            while !self.core.step_release(&mut rel, &mem) {}
+        }
+        self.accesses += mem.accesses();
+        self.last_acquire = Some(a);
+        let name = self
+            .core
+            .token_name(&token)
+            .expect("a renaming protocol's token carries a name");
+        self.token = Some(token);
+        name
+    }
+
+    fn release(&mut self) {
+        let token = self.token.take().expect("release without holding a name");
+        let mem = Counting::new(self.mem);
+        let mut r = self.core.begin_release(token);
+        while !self.core.step_release(&mut r, &mem) {}
+        self.accesses += mem.accesses();
+    }
+
+    fn pid(&self) -> Pid {
+        self.core.pid()
+    }
+
+    fn held(&self) -> Option<Name> {
+        self.token.as_ref().and_then(|t| self.core.token_name(t))
+    }
+
+    fn accesses(&self) -> u64 {
+        self.accesses
+    }
+}

@@ -34,6 +34,7 @@
 //! h.release();
 //! ```
 
+use crate::session::{Handle, ProtocolCore, Session};
 use crate::splitter::{EnterOp, ReleaseOp, SplitterRegs};
 use crate::traits::{Renaming, RenamingHandle};
 use crate::types::enc::Adv;
@@ -293,6 +294,104 @@ impl SplitRelease {
     }
 }
 
+/// SPLIT's [`ProtocolCore`]: one process's view of the splitter tree.
+///
+/// The acquire machine is [`SplitAcquire`] (root-to-leaf descent), the
+/// release machine is [`SplitRelease`] (deepest-first ascent), and the
+/// token is the leaf name plus the acquisition path the release needs.
+#[derive(Clone, Debug)]
+pub struct SplitCore {
+    shape: SplitShape,
+    pid: Pid,
+}
+
+impl SplitCore {
+    /// A core for process `pid` on the tree described by `shape`.
+    pub fn new(shape: SplitShape, pid: Pid) -> Self {
+        Self { shape, pid }
+    }
+
+    /// The tree shape.
+    pub fn shape(&self) -> &SplitShape {
+        &self.shape
+    }
+}
+
+/// What a SPLIT session holds: the acquired name and the splitter path
+/// whose release returns it.
+#[derive(Clone, Debug)]
+pub struct SplitToken {
+    name: Name,
+    path: Vec<PathEntry>,
+}
+
+impl ProtocolCore for SplitCore {
+    type Acquire = SplitAcquire;
+    type Token = SplitToken;
+    type Release = SplitRelease;
+
+    // The acquire's first step may already complete it (k = 1), so Idle
+    // performs it in the same scheduled step.
+    const LAZY_START: bool = false;
+
+    fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    fn begin_acquire(&self) -> SplitAcquire {
+        SplitAcquire::new(self.shape.clone(), self.pid)
+    }
+
+    fn step_acquire(&self, a: &mut SplitAcquire, mem: &dyn Memory) -> Option<SplitToken> {
+        a.step(mem).map(|name| SplitToken {
+            name,
+            path: a.path().to_vec(),
+        })
+    }
+
+    fn begin_release(&self, token: SplitToken) -> SplitRelease {
+        SplitRelease::new(self.shape.clone(), self.pid, token.path)
+    }
+
+    fn step_release(&self, r: &mut SplitRelease, mem: &dyn Memory) -> bool {
+        r.step(mem)
+    }
+
+    fn token_name(&self, token: &SplitToken) -> Option<Name> {
+        Some(token.name)
+    }
+
+    fn dest_size(&self) -> u64 {
+        3u64.pow(self.shape.k as u32 - 1)
+    }
+
+    fn key_acquire(&self, a: &SplitAcquire, out: &mut Vec<Word>) {
+        a.key(out);
+    }
+
+    fn key_token(&self, t: &SplitToken, out: &mut Vec<Word>) {
+        out.push(t.name);
+        // The path's advice locals are future shared writes of the
+        // eventual release.
+        for e in &t.path {
+            out.push(e.advice.word());
+            out.push(u64::from(e.adv2));
+        }
+    }
+
+    fn key_release(&self, r: &SplitRelease, out: &mut Vec<Word>) {
+        r.key(out);
+    }
+
+    fn describe_acquire(&self, a: &SplitAcquire) -> String {
+        a.describe()
+    }
+
+    fn describe_release(&self, r: &SplitRelease) -> String {
+        r.describe()
+    }
+}
+
 /// The SPLIT long-lived renaming object: `D = 3^(k-1)`, `O(k)` per
 /// operation, any source space.
 #[derive(Debug)]
@@ -324,13 +423,7 @@ impl Renaming for Split {
     type Handle<'a> = SplitHandle<'a>;
 
     fn handle(&self, pid: Pid) -> SplitHandle<'_> {
-        SplitHandle {
-            split: self,
-            pid,
-            held: None,
-            path: Vec::new(),
-            accesses: 0,
-        }
+        Handle::new(SplitCore::new(self.shape.clone(), pid), &self.mem)
     }
 
     fn source_size(&self) -> u64 {
@@ -348,57 +441,9 @@ impl Renaming for Split {
     }
 }
 
-/// Process handle on a [`Split`] object.
-#[derive(Debug)]
-pub struct SplitHandle<'a> {
-    split: &'a Split,
-    pid: Pid,
-    held: Option<Name>,
-    path: Vec<PathEntry>,
-    accesses: u64,
-}
-
-impl RenamingHandle for SplitHandle<'_> {
-    fn acquire(&mut self) -> Name {
-        assert!(self.held.is_none(), "acquire while holding a name");
-        let mem = Counting::new(&self.split.mem);
-        let mut m = SplitAcquire::new(self.split.shape.clone(), self.pid);
-        let name = loop {
-            if let Some(name) = m.step(&mem) {
-                break name;
-            }
-        };
-        self.accesses += mem.accesses();
-        self.path = m.into_path();
-        self.held = Some(name);
-        name
-    }
-
-    fn release(&mut self) {
-        assert!(self.held.is_some(), "release without holding a name");
-        self.held = None;
-        let mem = Counting::new(&self.split.mem);
-        let mut m = SplitRelease::new(
-            self.split.shape.clone(),
-            self.pid,
-            std::mem::take(&mut self.path),
-        );
-        while !m.step(&mem) {}
-        self.accesses += mem.accesses();
-    }
-
-    fn pid(&self) -> Pid {
-        self.pid
-    }
-
-    fn held(&self) -> Option<Name> {
-        self.held
-    }
-
-    fn accesses(&self) -> u64 {
-        self.accesses
-    }
-}
+/// Process handle on a [`Split`] object: the generic session handle
+/// driving [`SplitCore`]'s machines.
+pub type SplitHandle<'a> = Handle<'a, SplitCore>;
 
 impl Split {
     /// A handle that drives the splitters through the direct
@@ -474,154 +519,27 @@ impl RenamingHandle for NativeSplitHandle<'_> {
 
 pub mod spec {
     //! Model-checkable specification of SPLIT: uniqueness of held names
-    //! under every interleaving.
+    //! under every interleaving. The session loop, key encoding, and
+    //! invariant are all the generic ones from [`crate::session`].
 
     use super::*;
-    use llr_mc::{CheckStats, MachineStatus, ModelChecker, StepMachine, Violation, World};
+    use crate::session::{run_check, Engine};
+    use llr_mc::{CheckStats, ModelChecker, Violation, World};
 
-    #[derive(Clone, Debug)]
-    enum Phase {
-        Idle,
-        Acquiring(SplitAcquire),
-        Holding { name: Name, path: Vec<PathEntry> },
-        Releasing(SplitRelease),
-    }
-
-    /// A process performing `sessions` × (`GetName`; dwell; `ReleaseName`).
-    #[derive(Clone, Debug)]
-    pub struct SplitUser {
-        shape: SplitShape,
-        pid: Pid,
-        sessions_left: u8,
-        phase: Phase,
-    }
+    /// A process performing `sessions` × (`GetName`; dwell; `ReleaseName`):
+    /// the generic session machine over [`SplitCore`].
+    pub type SplitUser = Session<SplitCore>;
 
     impl SplitUser {
         /// Creates a user of the tree described by `shape`.
         pub fn new(shape: SplitShape, pid: Pid, sessions: u8) -> Self {
-            Self {
-                shape,
-                pid,
-                sessions_left: sessions,
-                phase: Phase::Idle,
-            }
-        }
-
-        /// The name currently held, if any.
-        pub fn holding(&self) -> Option<Name> {
-            match &self.phase {
-                Phase::Holding { name, .. } => Some(*name),
-                _ => None,
-            }
-        }
-    }
-
-    impl StepMachine for SplitUser {
-        fn step(&mut self, mem: &dyn Memory) -> MachineStatus {
-            match &mut self.phase {
-                Phase::Idle => {
-                    let mut m = SplitAcquire::new(self.shape.clone(), self.pid);
-                    match m.step(mem) {
-                        Some(name) => {
-                            // k = 1: instant name.
-                            let path = m.into_path();
-                            self.phase = Phase::Holding { name, path };
-                        }
-                        None => self.phase = Phase::Acquiring(m),
-                    }
-                    MachineStatus::Running
-                }
-                Phase::Acquiring(m) => {
-                    if let Some(name) = m.step(mem) {
-                        let path = std::mem::replace(m, SplitAcquire::new(self.shape.clone(), 0))
-                            .into_path();
-                        self.phase = Phase::Holding { name, path };
-                    }
-                    MachineStatus::Running
-                }
-                Phase::Holding { path, .. } => {
-                    let path = std::mem::take(path);
-                    let mut m = SplitRelease::new(self.shape.clone(), self.pid, path);
-                    if m.step(mem) {
-                        self.finish_session()
-                    } else {
-                        self.phase = Phase::Releasing(m);
-                        MachineStatus::Running
-                    }
-                }
-                Phase::Releasing(m) => {
-                    if m.step(mem) {
-                        self.finish_session()
-                    } else {
-                        MachineStatus::Running
-                    }
-                }
-            }
-        }
-
-        fn key(&self, out: &mut Vec<Word>) {
-            out.push(self.sessions_left as u64);
-            match &self.phase {
-                Phase::Idle => out.push(0),
-                Phase::Acquiring(m) => {
-                    out.push(1);
-                    m.key(out);
-                }
-                Phase::Holding { name, path } => {
-                    out.push(2);
-                    out.push(*name);
-                    for e in path {
-                        out.push(e.advice.word());
-                        out.push(u64::from(e.adv2));
-                    }
-                }
-                Phase::Releasing(m) => {
-                    out.push(3);
-                    m.key(out);
-                }
-            }
-        }
-
-        fn describe(&self) -> String {
-            let phase = match &self.phase {
-                Phase::Idle => "Idle".into(),
-                Phase::Acquiring(m) => m.describe(),
-                Phase::Holding { name, .. } => format!("Holding({name})"),
-                Phase::Releasing(m) => m.describe(),
-            };
-            format!("p{}:{phase} ({} left)", self.pid, self.sessions_left)
-        }
-    }
-
-    impl SplitUser {
-        fn finish_session(&mut self) -> MachineStatus {
-            self.sessions_left -= 1;
-            self.phase = Phase::Idle;
-            if self.sessions_left == 0 {
-                MachineStatus::Done
-            } else {
-                MachineStatus::Running
-            }
+            Session::start(SplitCore::new(shape, pid), sessions)
         }
     }
 
     /// Names held concurrently are pairwise distinct and below `3^(k-1)`.
     pub fn unique_names_invariant(world: &World<'_, SplitUser>) -> Result<(), String> {
-        let mut held = std::collections::HashMap::new();
-        for (i, m) in world.machines.iter().enumerate() {
-            if let Some(name) = m.holding() {
-                let bound = 3u64.pow(m.shape.k as u32 - 1);
-                if name >= bound {
-                    return Err(format!("machine {i} holds out-of-range name {name}"));
-                }
-                if let Some(j) = held.insert(name, i) {
-                    return Err(format!(
-                        "machines {j} and {i} concurrently hold name {name}"
-                    ));
-                }
-            }
-        }
-        Ok(())
+        crate::session::unique_names_invariant(world)
     }
 
     /// Builds the model checker for SPLIT with `procs ≤ k` processes,
@@ -649,13 +567,11 @@ pub mod spec {
         procs: usize,
         sessions: u8,
     ) -> Result<CheckStats, Box<Violation>> {
-        match checker(k, procs, sessions).check(unique_names_invariant) {
-            Ok(stats) => Ok(stats),
-            Err(llr_mc::CheckError::Violation(v)) => Err(v),
-            Err(e) => {
-                panic!("SPLIT exploration exceeded the state budget: {e}")
-            }
-        }
+        run_check(
+            checker(k, procs, sessions),
+            &Engine::Sequential,
+            unique_names_invariant,
+        )
     }
 }
 

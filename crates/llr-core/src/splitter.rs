@@ -319,150 +319,131 @@ pub mod native {
     }
 }
 
+/// The splitter's [`ProtocolCore`][crate::session::ProtocolCore]: one
+/// process's identity plus the splitter's registers. The "name" a session
+/// holds is its output set (a [`Direction`]), so the splitter plugs into
+/// the generic session layer with [`token_name`] = `None` and its own
+/// [`spec::output_set_invariant`] instead of name uniqueness.
+///
+/// [`token_name`]: crate::session::ProtocolCore::token_name
+#[derive(Clone, Copy, Debug)]
+pub struct SplitterCore {
+    pid: Pid,
+    regs: SplitterRegs,
+}
+
+impl SplitterCore {
+    /// A core for process `pid` on splitter `regs`.
+    pub fn new(pid: Pid, regs: SplitterRegs) -> Self {
+        Self { pid, regs }
+    }
+}
+
+/// An in-progress splitter `Release` plus the `advice`/`adv2` locals the
+/// matching `Enter` saved.
+#[derive(Clone, Copy, Debug)]
+pub struct SplitterRelease {
+    op: ReleaseOp,
+    advice: Adv,
+    adv2: bool,
+}
+
+impl crate::session::ProtocolCore for SplitterCore {
+    type Acquire = EnterOp;
+    /// `(direction, advice, adv2)`: the output set joined and the locals
+    /// the release needs.
+    type Token = (Direction, Adv, bool);
+    type Release = SplitterRelease;
+
+    // Entering is a pure local transition: the op's first shared access
+    // must be its own scheduled step, in every build profile, or
+    // exploration diverges.
+    const LAZY_START: bool = true;
+
+    fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    fn begin_acquire(&self) -> EnterOp {
+        EnterOp::new()
+    }
+
+    fn step_acquire(
+        &self,
+        op: &mut EnterOp,
+        mem: &dyn Memory,
+    ) -> Option<(Direction, Adv, bool)> {
+        op.step(&self.regs, self.pid, mem)
+            .map(|dir| (dir, op.advice(), op.adv2()))
+    }
+
+    fn begin_release(&self, token: (Direction, Adv, bool)) -> SplitterRelease {
+        SplitterRelease {
+            op: ReleaseOp::new(),
+            advice: token.1,
+            adv2: token.2,
+        }
+    }
+
+    fn step_release(&self, r: &mut SplitterRelease, mem: &dyn Memory) -> bool {
+        r.op.step(&self.regs, self.pid, r.advice, r.adv2, mem)
+    }
+
+    fn key_acquire(&self, op: &EnterOp, out: &mut Vec<Word>) {
+        op.key(out);
+    }
+
+    fn key_token(&self, t: &(Direction, Adv, bool), out: &mut Vec<Word>) {
+        out.push(t.0.digit() as u64);
+        out.push(t.1.word());
+        out.push(u64::from(t.2));
+    }
+
+    fn key_release(&self, r: &SplitterRelease, out: &mut Vec<Word>) {
+        r.op.key(out);
+        out.push(r.advice.word());
+        out.push(u64::from(r.adv2));
+    }
+
+    fn describe_acquire(&self, op: &EnterOp) -> String {
+        op.describe()
+    }
+
+    fn describe_token(&self, t: &(Direction, Adv, bool)) -> String {
+        format!("Inside({})", t.0)
+    }
+
+    fn describe_release(&self, r: &SplitterRelease) -> String {
+        r.op.describe()
+    }
+}
+
 pub mod spec {
     //! Model-checkable specification of the splitter: a driver machine that
     //! repeatedly enters and releases one splitter, plus the output-set
-    //! invariant and ready-made exhaustive checks.
+    //! invariant and ready-made exhaustive checks. The session loop and
+    //! key encoding are the generic ones from [`crate::session`].
 
     use super::*;
-    use llr_mc::{CheckStats, MachineStatus, ModelChecker, StepMachine, Violation, World};
-
-    /// Where a [`SplitterUser`] is in its access cycle.
-    #[derive(Clone, Debug)]
-    enum Phase {
-        /// Between invocations (`¬Using`).
-        Idle,
-        /// Executing `Enter`.
-        Entering(EnterOp),
-        /// `Inside(B, p)`: `Enter` complete, `Release` not yet started.
-        Inside {
-            dir: Direction,
-            advice: Adv,
-            adv2: bool,
-        },
-        /// Executing `Release`.
-        Releasing {
-            op: ReleaseOp,
-            advice: Adv,
-            adv2: bool,
-        },
-    }
+    use crate::session::Session;
+    use llr_mc::{CheckStats, ModelChecker, Violation, World};
 
     /// A process that performs `sessions` × (`Enter`; dwell; `Release`) on
-    /// one splitter. The model checker's scheduler supplies all possible
-    /// dwell times and stalls.
-    #[derive(Clone, Debug)]
-    pub struct SplitterUser {
-        pid: Pid,
-        regs: SplitterRegs,
-        sessions_left: u8,
-        phase: Phase,
-    }
+    /// one splitter: the generic session machine over [`SplitterCore`].
+    /// The model checker's scheduler supplies all possible dwell times and
+    /// stalls.
+    pub type SplitterUser = Session<SplitterCore>;
 
     impl SplitterUser {
         /// A user of splitter `regs` with identity `pid` performing
         /// `sessions` invocations.
         pub fn new(pid: Pid, regs: SplitterRegs, sessions: u8) -> Self {
-            Self {
-                pid,
-                regs,
-                sessions_left: sessions,
-                phase: Phase::Idle,
-            }
+            Session::start(SplitterCore::new(pid, regs), sessions)
         }
 
         /// `Some(direction)` iff the user is `Inside` the splitter.
         pub fn inside(&self) -> Option<Direction> {
-            match self.phase {
-                Phase::Inside { dir, .. } => Some(dir),
-                _ => None,
-            }
-        }
-    }
-
-    impl StepMachine for SplitterUser {
-        fn step(&mut self, mem: &dyn Memory) -> MachineStatus {
-            match &mut self.phase {
-                Phase::Idle => {
-                    // Entering is a pure local transition: the op's first
-                    // shared access must be its own scheduled step, in
-                    // every build profile, or exploration diverges.
-                    self.phase = Phase::Entering(EnterOp::new());
-                    MachineStatus::Running
-                }
-                Phase::Entering(op) => {
-                    if let Some(dir) = op.step(&self.regs, self.pid, mem) {
-                        self.phase = Phase::Inside {
-                            dir,
-                            advice: op.advice(),
-                            adv2: op.adv2(),
-                        };
-                    }
-                    MachineStatus::Running
-                }
-                Phase::Inside { advice, adv2, .. } => {
-                    let (advice, adv2) = (*advice, *adv2);
-                    let mut op = ReleaseOp::new();
-                    if op.step(&self.regs, self.pid, advice, adv2, mem) {
-                        self.finish_session()
-                    } else {
-                        self.phase = Phase::Releasing { op, advice, adv2 };
-                        MachineStatus::Running
-                    }
-                }
-                Phase::Releasing { op, advice, adv2 } => {
-                    if op.step(&self.regs, self.pid, *advice, *adv2, mem) {
-                        self.finish_session()
-                    } else {
-                        MachineStatus::Running
-                    }
-                }
-            }
-        }
-
-        fn key(&self, out: &mut Vec<Word>) {
-            out.push(self.sessions_left as u64);
-            match &self.phase {
-                Phase::Idle => out.push(0),
-                Phase::Entering(op) => {
-                    out.push(1);
-                    op.key(out);
-                }
-                Phase::Inside { dir, advice, adv2 } => {
-                    out.push(2);
-                    out.push(dir.digit() as u64);
-                    out.push(advice.word());
-                    out.push(u64::from(*adv2));
-                }
-                Phase::Releasing { op, advice, adv2 } => {
-                    out.push(3);
-                    op.key(out);
-                    out.push(advice.word());
-                    out.push(u64::from(*adv2));
-                }
-            }
-        }
-
-        fn describe(&self) -> String {
-            let phase = match &self.phase {
-                Phase::Idle => "Idle".to_string(),
-                Phase::Entering(op) => op.describe(),
-                Phase::Inside { dir, .. } => format!("Inside({dir})"),
-                Phase::Releasing { op, .. } => op.describe(),
-            };
-            format!("p{}:{phase} ({} left)", self.pid, self.sessions_left)
-        }
-    }
-
-    impl SplitterUser {
-        fn finish_session(&mut self) -> MachineStatus {
-            self.sessions_left -= 1;
-            self.phase = Phase::Idle;
-            if self.sessions_left == 0 {
-                MachineStatus::Done
-            } else {
-                MachineStatus::Running
-            }
+            self.holding_token().map(|t| t.0)
         }
     }
 
@@ -500,13 +481,11 @@ pub mod spec {
         init_a1: Word,
         init_a2: Word,
     ) -> Result<CheckStats, Box<Violation>> {
-        match checker(ell, sessions, init_last, init_a1, init_a2).check(output_set_invariant) {
-            Ok(stats) => Ok(stats),
-            Err(llr_mc::CheckError::Violation(v)) => Err(v),
-            Err(e) => {
-                panic!("splitter exploration should be small: {e}")
-            }
-        }
+        crate::session::run_check(
+            checker(ell, sessions, init_last, init_a1, init_a2),
+            &crate::session::Engine::Sequential,
+            output_set_invariant,
+        )
     }
 
     /// Builds the model checker for `ell` processes, each performing

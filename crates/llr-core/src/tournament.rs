@@ -250,154 +250,182 @@ impl Drop for TreeGuard<'_> {
     }
 }
 
+/// The tournament's [`ProtocolCore`][crate::session::ProtocolCore]: one
+/// process's identity and the tree it climbs. The acquire is the
+/// composite [`TreeClimb`] (enter, spin, climb, repeat up to the root);
+/// the token is the full [`TreeProgress`] held while inside the root
+/// critical section; the release walks the path back down top-first.
+#[derive(Clone, Debug)]
+pub struct TreeCore {
+    shape: TreeShape,
+    pid: Pid,
+}
+
+impl TreeCore {
+    /// A core for competitor `pid` on the tree described by `shape`.
+    pub fn new(shape: TreeShape, pid: Pid) -> Self {
+        Self { shape, pid }
+    }
+
+    /// The tree shape.
+    pub fn shape(&self) -> &TreeShape {
+        &self.shape
+    }
+}
+
+/// The tournament's composite acquire machine: climb the tree one ME
+/// block at a time, alternating `Enter` and `check` spins.
+#[derive(Clone, Debug)]
+pub struct TreeClimb {
+    progress: TreeProgress,
+    stage: ClimbStage,
+}
+
+#[derive(Clone, Debug)]
+enum ClimbStage {
+    /// Executing `Enter` at level `progress.entered_level() + 1`.
+    Entering(MeEnter),
+    /// Spinning on `check` at level `progress.entered_level()`.
+    Waiting,
+}
+
+/// The tournament's release machine: release the path's blocks top-down
+/// (a block only while still holding its parent — Lemma 6).
+#[derive(Clone, Debug)]
+pub struct TreeRelease {
+    progress: TreeProgress,
+    level: usize,
+}
+
+impl crate::session::ProtocolCore for TreeCore {
+    type Acquire = TreeClimb;
+    type Token = TreeProgress;
+    type Release = TreeRelease;
+
+    // Pure local transition; the op's first shared access is its own
+    // scheduled step in every build profile.
+    const LAZY_START: bool = true;
+
+    fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    fn begin_acquire(&self) -> TreeClimb {
+        TreeClimb {
+            progress: TreeProgress::new(),
+            stage: ClimbStage::Entering(MeEnter::new(TreeShape::side_at(self.pid, 1))),
+        }
+    }
+
+    fn step_acquire(&self, a: &mut TreeClimb, mem: &dyn Memory) -> Option<TreeProgress> {
+        match &mut a.stage {
+            ClimbStage::Entering(op) => {
+                let level = a.progress.entered_level() + 1;
+                let regs = self.shape.block_for(self.pid, level);
+                if let Some(own) = op.step(&regs, mem) {
+                    a.progress.push_entered(own);
+                    a.stage = ClimbStage::Waiting;
+                }
+                None
+            }
+            ClimbStage::Waiting => {
+                let level = a.progress.entered_level();
+                let regs = self.shape.block_for(self.pid, level);
+                let side = TreeShape::side_at(self.pid, level);
+                if pf::check(&regs, side, a.progress.own_at(level), mem) {
+                    if level == self.shape.levels() {
+                        return Some(a.progress.clone());
+                    }
+                    let next_side = TreeShape::side_at(self.pid, level + 1);
+                    a.stage = ClimbStage::Entering(MeEnter::new(next_side));
+                }
+                None
+            }
+        }
+    }
+
+    fn begin_release(&self, progress: TreeProgress) -> TreeRelease {
+        TreeRelease {
+            level: self.shape.levels(),
+            progress,
+        }
+    }
+
+    fn step_release(&self, r: &mut TreeRelease, mem: &dyn Memory) -> bool {
+        let regs = self.shape.block_for(self.pid, r.level);
+        pf::release(&regs, TreeShape::side_at(self.pid, r.level), mem);
+        if r.level == 1 {
+            true
+        } else {
+            r.level -= 1;
+            false
+        }
+    }
+
+    fn key_acquire(&self, a: &TreeClimb, out: &mut Vec<Word>) {
+        a.progress.key(out);
+        match &a.stage {
+            ClimbStage::Entering(op) => {
+                out.push(0);
+                op.key(out);
+            }
+            ClimbStage::Waiting => out.push(1),
+        }
+    }
+
+    fn key_token(&self, progress: &TreeProgress, out: &mut Vec<Word>) {
+        progress.key(out);
+    }
+
+    fn key_release(&self, r: &TreeRelease, out: &mut Vec<Word>) {
+        // The not-yet-released own values are future-relevant via the
+        // level countdown; keep the historical encoding (full progress +
+        // level).
+        r.progress.key(out);
+        out.push(r.level as u64);
+    }
+
+    fn describe_acquire(&self, a: &TreeClimb) -> String {
+        match &a.stage {
+            ClimbStage::Entering(op) => {
+                format!("L{} {}", a.progress.entered_level() + 1, op.describe())
+            }
+            ClimbStage::Waiting => format!("Waiting@L{}", a.progress.entered_level()),
+        }
+    }
+
+    fn describe_token(&self, _progress: &TreeProgress) -> String {
+        "ROOT-CS".into()
+    }
+
+    fn describe_release(&self, r: &TreeRelease) -> String {
+        format!("Releasing@L{}", r.level)
+    }
+}
+
 pub mod spec {
     //! Model-checkable specification of one tournament tree: root critical
     //! sections are mutually exclusive (Lemma 6) for any number of
-    //! distinct participants.
+    //! distinct participants. The session loop and key encoding are the
+    //! generic ones from [`crate::session`].
 
     use super::*;
-    use llr_mc::{CheckStats, MachineStatus, ModelChecker, StepMachine, Violation, World};
+    use crate::session::{run_check, Engine, Session};
+    use llr_mc::{CheckStats, ModelChecker, Violation, World};
 
-    #[derive(Clone, Debug)]
-    enum Phase {
-        Idle,
-        Entering { op: MeEnter },
-        Waiting,
-        Critical,
-        Releasing { level: usize },
-    }
-
-    /// A process repeatedly acquiring the tree's root critical section.
-    #[derive(Clone, Debug)]
-    pub struct TreeUser {
-        shape: TreeShape,
-        pid: Pid,
-        sessions_left: u8,
-        progress: TreeProgress,
-        phase: Phase,
-    }
+    /// A process repeatedly acquiring the tree's root critical section:
+    /// the generic session machine over [`TreeCore`].
+    pub type TreeUser = Session<TreeCore>;
 
     impl TreeUser {
         /// A competitor with identity `pid` doing `sessions` acquisitions.
         pub fn new(shape: TreeShape, pid: Pid, sessions: u8) -> Self {
-            Self {
-                shape,
-                pid,
-                sessions_left: sessions,
-                progress: TreeProgress::new(),
-                phase: Phase::Idle,
-            }
+            Session::start(TreeCore::new(shape, pid), sessions)
         }
 
         /// `true` iff inside the root critical section.
         pub fn in_critical(&self) -> bool {
-            matches!(self.phase, Phase::Critical)
-        }
-    }
-
-    impl StepMachine for TreeUser {
-        fn step(&mut self, mem: &dyn Memory) -> MachineStatus {
-            match &mut self.phase {
-                Phase::Idle => {
-                    // Pure local transition; the op's first shared access
-                    // is its own scheduled step in every build profile.
-                    let side = TreeShape::side_at(self.pid, 1);
-                    self.phase = Phase::Entering { op: MeEnter::new(side) };
-                    MachineStatus::Running
-                }
-                Phase::Entering { op } => {
-                    let level = self.progress.entered_level() + 1;
-                    let regs = self.shape.block_for(self.pid, level);
-                    if let Some(own) = op.step(&regs, mem) {
-                        self.progress.push_entered(own);
-                        self.phase = Phase::Waiting;
-                    }
-                    MachineStatus::Running
-                }
-                Phase::Waiting => {
-                    let level = self.progress.entered_level();
-                    let regs = self.shape.block_for(self.pid, level);
-                    let side = TreeShape::side_at(self.pid, level);
-                    if pf::check(&regs, side, self.progress.own_at(level), mem) {
-                        if level == self.shape.levels() {
-                            self.phase = Phase::Critical;
-                        } else {
-                            let next_side = TreeShape::side_at(self.pid, level + 1);
-                            self.phase = Phase::Entering {
-                                op: MeEnter::new(next_side),
-                            };
-                        }
-                    }
-                    MachineStatus::Running
-                }
-                Phase::Critical => {
-                    // Begin releasing, top-down.
-                    let level = self.shape.levels();
-                    let regs = self.shape.block_for(self.pid, level);
-                    pf::release(&regs, TreeShape::side_at(self.pid, level), mem);
-                    if level == 1 {
-                        self.finish_session()
-                    } else {
-                        self.phase = Phase::Releasing { level: level - 1 };
-                        MachineStatus::Running
-                    }
-                }
-                Phase::Releasing { level } => {
-                    let level = *level;
-                    let regs = self.shape.block_for(self.pid, level);
-                    pf::release(&regs, TreeShape::side_at(self.pid, level), mem);
-                    if level == 1 {
-                        self.finish_session()
-                    } else {
-                        self.phase = Phase::Releasing { level: level - 1 };
-                        MachineStatus::Running
-                    }
-                }
-            }
-        }
-
-        fn key(&self, out: &mut Vec<Word>) {
-            out.push(self.sessions_left as u64);
-            self.progress.key(out);
-            match &self.phase {
-                Phase::Idle => out.push(0),
-                Phase::Entering { op } => {
-                    out.push(1);
-                    op.key(out);
-                }
-                Phase::Waiting => out.push(2),
-                Phase::Critical => out.push(3),
-                Phase::Releasing { level } => {
-                    out.push(4);
-                    out.push(*level as u64);
-                }
-            }
-        }
-
-        fn describe(&self) -> String {
-            let phase = match &self.phase {
-                Phase::Idle => "Idle".into(),
-                Phase::Entering { op } => {
-                    format!("L{} {}", self.progress.entered_level() + 1, op.describe())
-                }
-                Phase::Waiting => format!("Waiting@L{}", self.progress.entered_level()),
-                Phase::Critical => "ROOT-CS".into(),
-                Phase::Releasing { level } => format!("Releasing@L{level}"),
-            };
-            format!("p{}:{phase} ({} left)", self.pid, self.sessions_left)
-        }
-    }
-
-    impl TreeUser {
-        fn finish_session(&mut self) -> MachineStatus {
-            self.progress.reset();
-            self.sessions_left -= 1;
-            self.phase = Phase::Idle;
-            if self.sessions_left == 0 {
-                MachineStatus::Done
-            } else {
-                MachineStatus::Running
-            }
+            self.holding_token().is_some()
         }
     }
 
@@ -436,13 +464,11 @@ pub mod spec {
         participants: &[Pid],
         sessions: u8,
     ) -> Result<CheckStats, Box<Violation>> {
-        match checker(s, participants, sessions).check(root_exclusion) {
-            Ok(stats) => Ok(stats),
-            Err(llr_mc::CheckError::Violation(v)) => Err(v),
-            Err(e) => {
-                panic!("tournament exploration exceeded the state budget: {e}")
-            }
-        }
+        run_check(
+            checker(s, participants, sessions),
+            &Engine::Sequential,
+            root_exclusion,
+        )
     }
 }
 

@@ -1,0 +1,116 @@
+//! Engine selection: one value that names an exploration backend, and one
+//! entry point that routes a configured [`ModelChecker`] to it.
+//!
+//! The three backends (sequential DFS, layer-synchronous parallel BFS,
+//! external-memory BFS) visit exactly the same states and report identical
+//! counts and violations — which one to use is purely a resource question.
+//! Callers that want to make that choice data-driven (experiment tables,
+//! the generic session drivers in `llr-core`) pass an [`Engine`] instead of
+//! hard-coding a method chain.
+
+use crate::checker::{CheckError, CheckStats, ModelChecker, World};
+use crate::machine::StepMachine;
+use std::path::PathBuf;
+
+/// Which exploration backend drives a check.
+///
+/// ```
+/// use llr_mc::{Engine, MachineStatus, ModelChecker, StepMachine};
+/// use llr_mem::{Layout, Loc, Memory};
+///
+/// #[derive(Clone)]
+/// struct Writer { x: Loc, done: bool }
+/// impl StepMachine for Writer {
+///     fn step(&mut self, mem: &dyn Memory) -> MachineStatus {
+///         mem.write(self.x, 1);
+///         self.done = true;
+///         MachineStatus::Done
+///     }
+///     fn key(&self, out: &mut Vec<u64>) { out.push(self.done as u64); }
+///     fn describe(&self) -> String { format!("done={}", self.done) }
+/// }
+///
+/// let mut layout = Layout::new();
+/// let x = layout.scalar("X", 0);
+/// let machines = vec![Writer { x, done: false }, Writer { x, done: false }];
+/// let seq = ModelChecker::new(layout.clone(), machines.clone())
+///     .check_with(&Engine::Sequential, |_| Ok(()))
+///     .unwrap();
+/// let par = ModelChecker::new(layout, machines)
+///     .check_with(&Engine::Parallel { workers: 2, hashed: false }, |_| Ok(()))
+///     .unwrap();
+/// assert_eq!(seq.states, par.states);
+/// assert_eq!(seq.transitions, par.transitions);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Engine {
+    /// Sequential DFS with exact dedup — the reference engine.
+    Sequential,
+    /// Layer-synchronous parallel BFS ([`ModelChecker::check_parallel`]).
+    Parallel {
+        /// Worker threads; `0` means one per core.
+        workers: usize,
+        /// Store 128-bit state hashes instead of exact packed keys.
+        hashed: bool,
+    },
+    /// Parallel BFS with the external-memory visited set
+    /// ([`ModelChecker::spill_dir`]): only `budget_bytes` of
+    /// not-yet-flushed hashes stay in RAM, the rest lives in sorted runs
+    /// on disk.
+    Spill {
+        /// Directory for the sorted run files.
+        dir: PathBuf,
+        /// In-RAM delta budget in bytes.
+        budget_bytes: usize,
+        /// Worker threads; `0` means one per core.
+        workers: usize,
+    },
+}
+
+impl Engine {
+    /// Short backend label for tables: `dfs`, `bfs:4w`, `bfs+hash:4w`,
+    /// `bfs+spill:4w:256MiB`. A worker count of `0` is resolved to the
+    /// core count, matching what the run will actually use.
+    pub fn label(&self) -> String {
+        let resolve = |w: usize| {
+            if w == 0 {
+                std::thread::available_parallelism().map_or(1, |n| n.get())
+            } else {
+                w
+            }
+        };
+        match self {
+            Engine::Sequential => "dfs".into(),
+            Engine::Parallel { workers, hashed: false } => format!("bfs:{}w", resolve(*workers)),
+            Engine::Parallel { workers, hashed: true } => {
+                format!("bfs+hash:{}w", resolve(*workers))
+            }
+            Engine::Spill { budget_bytes, workers, .. } => {
+                format!("bfs+spill:{}w:{}MiB", resolve(*workers), budget_bytes >> 20)
+            }
+        }
+    }
+}
+
+impl<M: StepMachine + Send + Sync> ModelChecker<M> {
+    /// Verifies `invariant` in every reachable state on the backend named
+    /// by `engine`. Equivalent to hand-chaining [`ModelChecker::workers`] /
+    /// [`ModelChecker::spill_dir`] / [`ModelChecker::hashed_dedup`] and
+    /// calling the matching `check*` method.
+    pub fn check_with<F>(self, engine: &Engine, invariant: F) -> Result<CheckStats, CheckError>
+    where
+        F: Fn(&World<'_, M>) -> Result<(), String>,
+    {
+        match engine {
+            Engine::Sequential => self.check(invariant),
+            Engine::Parallel { workers, hashed } => self
+                .workers(*workers)
+                .hashed_dedup(*hashed)
+                .check_parallel(invariant),
+            Engine::Spill { dir, budget_bytes, workers } => self
+                .workers(*workers)
+                .spill_dir(dir.clone(), *budget_bytes)
+                .check_parallel(invariant),
+        }
+    }
+}

@@ -86,6 +86,7 @@
 #![warn(missing_docs)]
 
 mod checker;
+mod drive;
 mod engine;
 mod liveness;
 mod machine;
@@ -93,6 +94,7 @@ mod rng;
 mod spill;
 
 pub use checker::{CheckError, CheckStats, ModelChecker, Violation, World};
+pub use drive::Engine;
 pub use liveness::LivenessStats;
 pub use machine::{MachineStatus, StepMachine};
 pub use rng::SplitMix64;
