@@ -14,6 +14,10 @@
 #      dedup) and the spill-to-disk engine (generous and zero budgets),
 #      pinning the counts byte-for-byte. This is the checker hot path;
 #      run it in release so it stays fast.
+#   5. POR soundness subset: the partial-order-reduction differential
+#      suite (reduced vs full verdicts/terminals on every family, all
+#      backends) and the footprint audit (declared footprints must
+#      cover recorded accesses), also in release.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -32,5 +36,8 @@ cargo test -q --offline --doc --workspace
 
 echo "== fast E2 subset (engine equivalence, release) =="
 cargo test -q --offline --release --test engine_equivalence
+
+echo "== POR soundness subset (differential + footprint audit, release) =="
+cargo test -q --offline --release --test por_equivalence --test footprint_audit
 
 echo "ci.sh: all green"

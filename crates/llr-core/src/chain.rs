@@ -393,7 +393,7 @@ pub mod spec {
     use crate::ma::{MaAcquire, MaRelease, MaShape};
     use crate::split::{PathEntry, SplitAcquire, SplitRelease, SplitShape};
     use crate::types::{Name, Pid};
-    use llr_mc::{CheckStats, ModelChecker, Violation, World};
+    use llr_mc::{CheckStats, Footprint, ModelChecker, Violation, World};
     use llr_mem::{Layout, Memory, Word};
 
     /// Register layout of a SPLIT → MA mini-chain.
@@ -536,6 +536,52 @@ pub mod spec {
                     false
                 }
                 ChainRelease::Split(rel) => rel.step(mem),
+            }
+        }
+
+        fn acquire_footprint(&self, a: &ChainAcquire, fp: &mut Footprint) -> bool {
+            match a {
+                ChainAcquire::Split(m) => {
+                    // Completing the SPLIT walk only hands off to the MA
+                    // stage; the chain acquire continues.
+                    m.footprint(fp);
+                    false
+                }
+                ChainAcquire::Ma { m, .. } => m.footprint(fp),
+            }
+        }
+
+        fn release_footprint(&self, r: &ChainRelease, fp: &mut Footprint) -> bool {
+            match r {
+                ChainRelease::Ma { m, .. } => {
+                    // The MA write's step hands off to the SPLIT unwind.
+                    m.footprint(fp);
+                    false
+                }
+                ChainRelease::Split(rel) => rel.footprint(fp),
+            }
+        }
+
+        fn future_footprint(&self, fp: &mut Footprint) {
+            self.shape.split.future_footprint(fp);
+            // The MA stage runs under a dynamically acquired intermediate
+            // identity, so every presence slot is a potential future write.
+            for i in 0..self.shape.ma.s() {
+                self.shape.ma.future_footprint(i, fp);
+            }
+        }
+
+        fn release_future_footprint(&self, r: &ChainRelease, fp: &mut Footprint) {
+            match r {
+                ChainRelease::Ma { split_path, m } => {
+                    m.future_footprint(fp);
+                    for e in split_path {
+                        let regs = self.shape.split.regs(e.node);
+                        fp.future_read(regs.last);
+                        fp.future_write(regs.a1);
+                    }
+                }
+                ChainRelease::Split(rel) => rel.future_footprint(fp),
             }
         }
 

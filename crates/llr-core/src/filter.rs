@@ -52,6 +52,7 @@ use crate::tournament::{TreeProgress, TreeShape};
 use crate::traits::Renaming;
 use crate::types::{Name, Pid};
 use llr_gf::FilterParams;
+use llr_mc::Footprint;
 use llr_mem::{AtomicMemory, Layout, Memory, Word};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -314,6 +315,32 @@ impl FilterAcquire {
         };
     }
 
+    /// Declares the register the next [`step`](Self::step) touches into
+    /// `fp`; returns `true` iff that step may complete the `GetName`.
+    pub fn footprint(&self, fp: &mut Footprint) -> bool {
+        if self.acquired.is_some() {
+            return true;
+        }
+        let tree = self.shape.tree(self.names[self.cur]);
+        match &self.mode {
+            Mode::Entering(op) => {
+                let level = self.progress[self.cur].entered_level() + 1;
+                op.footprint(&tree.block_for(self.pid, level), fp);
+                false
+            }
+            Mode::Checking => {
+                let level = self.progress[self.cur].entered_level();
+                pf::check_footprint(
+                    &tree.block_for(self.pid, level),
+                    TreeShape::side_at(self.pid, level),
+                    fp,
+                );
+                // Only winning a root check completes the GetName.
+                level == tree.levels()
+            }
+        }
+    }
+
     /// Progress metrics so far.
     pub fn metrics(&self) -> AcquireMetrics {
         self.metrics
@@ -526,6 +553,39 @@ impl FilterRelease {
         self.pos.confirmed[i].min(self.pos.progress[i].entered_level())
     }
 
+    /// Declares the register the next [`step`](Self::step) touches into
+    /// `fp`; returns `true` iff that step may complete the `ReleaseName`.
+    pub fn footprint(&self, fp: &mut Footprint) -> bool {
+        let mut idx = self.tree_idx;
+        while idx < self.pos.names.len() {
+            let prog = &self.pos.progress[idx];
+            let level = prog.entered_level();
+            if level == 0 {
+                idx += 1;
+                continue;
+            }
+            let tree = self.shape.tree(self.pos.names[idx]);
+            let regs = tree.block_for(self.pid, level);
+            pf::release_footprint(&regs, TreeShape::side_at(self.pid, level), fp);
+            return level == 1 && self.remaining_after(idx) == 0;
+        }
+        // Nothing entered: the next step completes without any access.
+        true
+    }
+
+    /// Adds every register the rest of this `ReleaseName` may touch — the
+    /// process's own side of each still-entered block — to `fp`'s future
+    /// sets.
+    pub fn future_footprint(&self, fp: &mut Footprint) {
+        for idx in self.tree_idx..self.pos.names.len() {
+            let tree = self.shape.tree(self.pos.names[idx]);
+            for level in 1..=self.pos.progress[idx].entered_level() {
+                let regs = tree.block_for(self.pid, level);
+                fp.future_write(regs.r[TreeShape::side_at(self.pid, level)]);
+            }
+        }
+    }
+
     /// The names of this position (parallel to tree indices).
     pub fn names(&self) -> &[Name] {
         &self.pos.names
@@ -685,6 +745,26 @@ impl ProtocolCore for FilterCore {
 
     fn step_release(&self, r: &mut FilterRelease, mem: &dyn Memory) -> bool {
         r.step(mem)
+    }
+
+    fn acquire_footprint(&self, a: &FilterAcquire, fp: &mut Footprint) -> bool {
+        a.footprint(fp)
+    }
+
+    fn release_footprint(&self, r: &FilterRelease, fp: &mut Footprint) -> bool {
+        r.footprint(fp)
+    }
+
+    fn future_footprint(&self, fp: &mut Footprint) {
+        // The union of the pid's root paths in every tree of its name set;
+        // exact, so processes with disjoint name sets never conflict.
+        for m in self.shape.params.name_sets().name_set(self.pid) {
+            self.shape.tree(m).path_future_footprint(self.pid, fp);
+        }
+    }
+
+    fn release_future_footprint(&self, r: &FilterRelease, fp: &mut Footprint) {
+        r.future_footprint(fp);
     }
 
     fn token_name(&self, pos: &FilterPosition) -> Option<Name> {

@@ -56,6 +56,7 @@ use crate::session::{Handle, ProtocolCore, Session};
 use crate::traits::Renaming;
 use crate::types::enc::{FALSE, TRUE};
 use crate::types::{Name, Pid};
+use llr_mc::Footprint;
 use llr_mem::{ArrayLoc, AtomicMemory, Layout, Loc, Memory, Word};
 use std::sync::Arc;
 
@@ -142,6 +143,21 @@ impl MaShape {
     /// The block registers of cell `(r, c)`.
     pub fn block(&self, r: usize, c: usize) -> &BlockRegs {
         &self.blocks[self.cell_name(r, c) as usize]
+    }
+
+    /// Adds process `pid`'s lifetime footprint on the whole grid to `fp`'s
+    /// future sets. A walk can restart from the origin, so every block is
+    /// reachable: its `X`, the process's own presence bit, and every slot
+    /// the scan reads.
+    pub fn future_footprint(&self, pid: Pid, fp: &mut Footprint) {
+        for block in self.blocks.iter() {
+            fp.future_read(block.x);
+            fp.future_write(block.x);
+            fp.future_write(block.y.at(pid as usize));
+            for loc in block.y.iter() {
+                fp.future_read(loc);
+            }
+        }
     }
 }
 
@@ -279,6 +295,39 @@ impl MaAcquire {
         self.pc = BlockPc::WriteX;
     }
 
+    /// Declares the register the next [`step`](Self::step) touches into
+    /// `fp`; returns `true` iff that step may complete the `GetName`.
+    pub fn footprint(&self, fp: &mut Footprint) -> bool {
+        if self.name.is_some() {
+            return true;
+        }
+        let block = self.shape.block(self.r, self.c);
+        match self.pc {
+            BlockPc::WriteX => fp.write(block.x),
+            BlockPc::Scan(i) => {
+                // Mirror step()'s local skips: our own slot is passed over,
+                // and a scan past the end performs PublishY's write.
+                let mut j = i;
+                if j == self.pid {
+                    j += 1;
+                }
+                if j >= self.shape.s {
+                    fp.write(block.y.at(self.pid as usize));
+                } else {
+                    fp.read(block.y.at(j as usize));
+                }
+            }
+            BlockPc::PublishY => fp.write(block.y.at(self.pid as usize)),
+            BlockPc::ReadX => {
+                fp.read(block.x);
+                // Re-reading our own pid stops the walk here.
+                return true;
+            }
+            BlockPc::WithdrawY => fp.write(block.y.at(self.pid as usize)),
+        }
+        false
+    }
+
     /// Grid-walk restarts performed so far (0 in every non-adversarial
     /// execution we have observed).
     pub fn restarts(&self) -> u64 {
@@ -345,6 +394,23 @@ impl MaRelease {
         true
     }
 
+    /// Declares the single release write into `fp` (nothing once done);
+    /// the next [`step`](Self::step) always completes.
+    pub fn footprint(&self, fp: &mut Footprint) {
+        if !self.done {
+            let block = self.shape.block(self.cell.0, self.cell.1);
+            fp.write(block.y.at(self.pid as usize));
+        }
+    }
+
+    /// Adds the pending release write to `fp`'s future sets.
+    pub fn future_footprint(&self, fp: &mut Footprint) {
+        if !self.done {
+            let block = self.shape.block(self.cell.0, self.cell.1);
+            fp.future_write(block.y.at(self.pid as usize));
+        }
+    }
+
     /// Encodes machine state for model-checker keys.
     pub fn key(&self, out: &mut Vec<Word>) {
         out.push(u64::from(self.done));
@@ -406,6 +472,23 @@ impl ProtocolCore for MaCore {
 
     fn step_release(&self, r: &mut MaRelease, mem: &dyn Memory) -> bool {
         r.step(mem)
+    }
+
+    fn acquire_footprint(&self, a: &MaAcquire, fp: &mut Footprint) -> bool {
+        a.footprint(fp)
+    }
+
+    fn release_footprint(&self, r: &MaRelease, fp: &mut Footprint) -> bool {
+        r.footprint(fp);
+        true
+    }
+
+    fn future_footprint(&self, fp: &mut Footprint) {
+        self.shape.future_footprint(self.pid, fp);
+    }
+
+    fn release_future_footprint(&self, r: &MaRelease, fp: &mut Footprint) {
+        r.future_footprint(fp);
     }
 
     fn token_name(&self, cell: &(usize, usize)) -> Option<Name> {

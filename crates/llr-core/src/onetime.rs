@@ -37,6 +37,7 @@
 
 use crate::types::enc::{FALSE, TRUE};
 use crate::types::{Name, Pid};
+use llr_mc::Footprint;
 use llr_mem::{AtomicMemory, Counting, Layout, Loc, Memory, Word};
 use std::sync::Arc;
 
@@ -171,6 +172,26 @@ impl OneTimeAcquire {
         );
     }
 
+    /// Declares the register the next [`step`](Self::step) touches into
+    /// `fp`; returns `true` iff that step may complete the `GetName`.
+    pub fn footprint(&self, fp: &mut Footprint) -> bool {
+        if self.name.is_some() {
+            return true;
+        }
+        let b = self.shape.block(self.r, self.c);
+        match self.pc {
+            0 => fp.write(b.x),
+            1 => fp.read(b.y),
+            2 => fp.write(b.y),
+            // Re-reading our own pid stops the walk here.
+            _ => {
+                fp.read(b.x);
+                return true;
+            }
+        }
+        false
+    }
+
     /// Encodes machine state for model-checker keys.
     pub fn key(&self, out: &mut Vec<Word>) {
         out.push(self.r as u64);
@@ -284,6 +305,28 @@ impl crate::session::ProtocolCore for OneTimeCore {
     fn step_release(&self, _r: &mut (), _mem: &dyn Memory) -> bool {
         true
     }
+
+    fn acquire_footprint(&self, a: &OneTimeAcquire, fp: &mut Footprint) -> bool {
+        a.footprint(fp)
+    }
+
+    fn release_footprint(&self, _r: &(), _fp: &mut Footprint) -> bool {
+        // Never constructed (`RELEASES = false`): no accesses.
+        true
+    }
+
+    fn future_footprint(&self, fp: &mut Footprint) {
+        // The walk can end up at any cell (Right/Down moves), so the whole
+        // triangle is reachable.
+        for b in self.shape.blocks.iter() {
+            fp.future_read(b.x);
+            fp.future_write(b.x);
+            fp.future_read(b.y);
+            fp.future_write(b.y);
+        }
+    }
+
+    fn release_future_footprint(&self, _r: &(), _fp: &mut Footprint) {}
 
     fn token_name(&self, name: &Name) -> Option<Name> {
         Some(*name)

@@ -47,6 +47,7 @@
 
 use crate::types::enc::{BIT0, BIT1, ENTERING, NIL};
 use crate::types::Pid;
+use llr_mc::Footprint;
 use llr_mem::{Layout, Loc, Memory, Word};
 
 /// A competitor's side of an ME block: `0` = left subtree, `1` = right.
@@ -142,6 +143,25 @@ impl MeEnter {
         self.own
     }
 
+    /// Declares the register the next [`step`](Self::step) touches into
+    /// `fp`; returns `true` iff that step completes the `Enter`.
+    pub fn footprint(&self, regs: &MeRegs, fp: &mut Footprint) -> bool {
+        match self.pc {
+            EnterPc::WritePrelim => {
+                fp.write(regs.r[self.side]);
+                false
+            }
+            EnterPc::ReadOpp => {
+                fp.read(regs.r[1 - self.side]);
+                false
+            }
+            EnterPc::WriteFinal => {
+                fp.write(regs.r[self.side]);
+                true
+            }
+        }
+    }
+
     /// Encodes the micro-machine state for model-checker keys.
     pub fn key(&self, out: &mut Vec<Word>) {
         out.push(self.side as u64);
@@ -178,6 +198,24 @@ pub fn check(regs: &MeRegs, side: Side, own: Word, mem: &dyn Memory) -> bool {
 /// `Release(ME, β)`: one shared write of `nil`.
 pub fn release(regs: &MeRegs, side: Side, mem: &dyn Memory) {
     mem.write(regs.r[side], NIL);
+}
+
+/// Declares [`check`]'s single shared read into `fp`.
+pub fn check_footprint(regs: &MeRegs, side: Side, fp: &mut Footprint) {
+    fp.read(regs.r[1 - side]);
+}
+
+/// Declares [`release`]'s single shared write into `fp`.
+pub fn release_footprint(regs: &MeRegs, side: Side, fp: &mut Footprint) {
+    fp.write(regs.r[side]);
+}
+
+/// Adds direction `side`'s lifetime footprint on one block — its writes to
+/// its own register and its reads of the opponent register — to `fp`'s
+/// future sets.
+pub fn side_future_footprint(regs: &MeRegs, side: Side, fp: &mut Footprint) {
+    fp.future_write(regs.r[side]);
+    fp.future_read(regs.r[1 - side]);
 }
 
 /// Sanity helper: `true` iff `w` is a legal register value.
@@ -261,6 +299,34 @@ impl crate::session::ProtocolCore for MeCore {
     fn step_release(&self, _r: &mut (), mem: &dyn Memory) -> bool {
         release(&self.regs, self.side, mem);
         true
+    }
+
+    fn acquire_footprint(&self, a: &MeAcquire, fp: &mut Footprint) -> bool {
+        match a {
+            MeAcquire::Entering(op) => {
+                op.footprint(&self.regs, fp);
+                // Completing the Enter only moves to Waiting; the acquire
+                // itself continues.
+                false
+            }
+            MeAcquire::Waiting { .. } => {
+                check_footprint(&self.regs, self.side, fp);
+                true
+            }
+        }
+    }
+
+    fn release_footprint(&self, _r: &(), fp: &mut Footprint) -> bool {
+        release_footprint(&self.regs, self.side, fp);
+        true
+    }
+
+    fn future_footprint(&self, fp: &mut Footprint) {
+        side_future_footprint(&self.regs, self.side, fp);
+    }
+
+    fn release_future_footprint(&self, _r: &(), fp: &mut Footprint) {
+        fp.future_write(self.regs.r[self.side]);
     }
 
     fn key_acquire(&self, a: &MeAcquire, out: &mut Vec<Word>) {

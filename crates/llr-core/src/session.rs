@@ -40,7 +40,9 @@
 
 use crate::traits::RenamingHandle;
 use crate::types::{Name, Pid};
-use llr_mc::{CheckError, CheckStats, MachineStatus, ModelChecker, StepMachine, Violation, World};
+use llr_mc::{
+    CheckError, CheckStats, Footprint, MachineStatus, ModelChecker, StepMachine, Violation, World,
+};
 use llr_mem::{AtomicMemory, Counting, Memory, Word};
 use std::collections::HashMap;
 use std::fmt::Debug;
@@ -122,6 +124,42 @@ pub trait ProtocolCore: Clone + Debug + Send + Sync {
     fn key_prologue(&self, rel: &Self::Release, token: &Self::Token, out: &mut Vec<Word>) {
         self.key_release(rel, out);
         self.key_token(token, out);
+    }
+
+    /// Registers the next [`step_acquire`](Self::step_acquire) on `a` may
+    /// touch, declared into `fp` (see [`Footprint`]); returns `true` iff
+    /// that step may complete the acquire. Declared sets must
+    /// over-approximate actual accesses. The default declares the
+    /// footprint unknown (soundly disabling partial-order reduction
+    /// around this protocol) and pessimistically returns `true`.
+    fn acquire_footprint(&self, _a: &Self::Acquire, fp: &mut Footprint) -> bool {
+        fp.set_unknown();
+        true
+    }
+
+    /// Registers the next [`step_release`](Self::step_release) on `r` may
+    /// touch; returns `true` iff that step may complete the release. Same
+    /// contract and default as [`acquire_footprint`](Self::acquire_footprint).
+    fn release_footprint(&self, _r: &Self::Release, fp: &mut Footprint) -> bool {
+        fp.set_unknown();
+        true
+    }
+
+    /// Every register this process may touch over its remaining lifetime
+    /// (any acquire, prologue, or release step of any remaining session),
+    /// declared into `fp`'s future sets ([`Footprint::future_read`] /
+    /// [`Footprint::future_write`]). A static per-process superset is
+    /// fine — precision here only sharpens the reduction, never its
+    /// soundness. The default declares the footprint unknown.
+    fn future_footprint(&self, fp: &mut Footprint) {
+        fp.set_unknown();
+    }
+
+    /// Every register the rest of the in-flight release `r` may touch —
+    /// the refined future for a final-session release, where nothing runs
+    /// afterwards. Defaults to the full lifetime footprint.
+    fn release_future_footprint(&self, _r: &Self::Release, fp: &mut Footprint) {
+        self.future_footprint(fp);
     }
 
     /// Actor label for traces (`p7`, `β0`, …).
@@ -335,6 +373,65 @@ impl<P: ProtocolCore> StepMachine for Session<P> {
             self.core.describe_actor(),
             self.sessions_left
         )
+    }
+
+    fn footprint(&self, fp: &mut Footprint) {
+        match &self.phase {
+            SessionPhase::Idle => {
+                // The whole lifetime is still ahead.
+                self.core.future_footprint(fp);
+                if !P::LAZY_START {
+                    // The Idle step performs the acquire's first shared
+                    // access (and, in a degenerate shape, might even
+                    // complete it): cover both via the future sets.
+                    fp.assume_worst_next();
+                    fp.set_visible();
+                }
+                // Lazy start: a pure local transition — no access, and
+                // holding()/done are unchanged, so the step is invisible.
+            }
+            SessionPhase::Acquiring(a) => {
+                let may_complete = self.core.acquire_footprint(a, fp);
+                self.core.future_footprint(fp);
+                if may_complete {
+                    // Completing an acquire may start Holding a name (or
+                    // finish a one-shot machine).
+                    fp.set_visible();
+                }
+            }
+            SessionPhase::Prologue { rel, .. } => {
+                let may_complete = self.core.release_footprint(rel, fp);
+                self.core.future_footprint(fp);
+                if may_complete {
+                    // Completing the prologue enters Holding.
+                    fp.set_visible();
+                }
+            }
+            SessionPhase::Holding(_) => {
+                // The step leaves Holding (visible) and performs the first
+                // release access; cover it via the future sets rather than
+                // materializing a release machine here.
+                self.core.future_footprint(fp);
+                fp.assume_worst_next();
+                fp.set_visible();
+            }
+            SessionPhase::Releasing(r) => {
+                let may_complete = self.core.release_footprint(r, fp);
+                if self.sessions_left == 1 {
+                    // Final session: only the rest of this release remains.
+                    self.core.release_future_footprint(r, fp);
+                    if may_complete {
+                        // Completing the final release sets done.
+                        fp.set_visible();
+                    }
+                } else {
+                    self.core.future_footprint(fp);
+                    // Completing a non-final release just returns to Idle:
+                    // holding() stays None and done stays false, so even a
+                    // completing step is invisible.
+                }
+            }
+        }
     }
 }
 

@@ -39,6 +39,7 @@ use crate::splitter::{EnterOp, ReleaseOp, SplitterRegs};
 use crate::traits::{Renaming, RenamingHandle};
 use crate::types::enc::Adv;
 use crate::types::{Direction, Name, Pid};
+use llr_mc::Footprint;
 use llr_mem::{AtomicMemory, Counting, Layout, Memory, Word};
 use std::sync::Arc;
 
@@ -98,6 +99,15 @@ impl SplitShape {
     /// Panics if `node` is not an interior node.
     pub fn regs(&self, node: u64) -> SplitterRegs {
         self.nodes[node as usize]
+    }
+
+    /// Adds every register of every splitter in the tree to `fp`'s future
+    /// sets. A SPLIT process's descent path depends on dynamic contention,
+    /// so its lifetime footprint is the whole tree.
+    pub fn future_footprint(&self, fp: &mut Footprint) {
+        for regs in self.nodes.iter() {
+            regs.future_footprint(fp);
+        }
     }
 }
 
@@ -204,6 +214,17 @@ impl SplitAcquire {
         self.path
     }
 
+    /// Declares the register the next [`step`](Self::step) touches into
+    /// `fp`; returns `true` iff that step may complete the `GetName`.
+    pub fn footprint(&self, fp: &mut Footprint) -> bool {
+        if self.name.is_some() || self.depth == self.shape.k - 1 {
+            // Completing is a pure-local name computation (k = 1 start).
+            return true;
+        }
+        let regs = self.shape.regs(self.node);
+        self.op.footprint(&regs, fp) && self.depth + 1 == self.shape.k - 1
+    }
+
     /// Encodes machine state for model-checker keys.
     pub fn key(&self, out: &mut Vec<Word>) {
         out.push(self.node);
@@ -271,6 +292,28 @@ impl SplitRelease {
             }
         }
         false
+    }
+
+    /// Declares the register the next [`step`](Self::step) touches into
+    /// `fp`; returns `true` iff that step may complete the `ReleaseName`.
+    pub fn footprint(&self, fp: &mut Footprint) -> bool {
+        if self.idx == 0 {
+            return true;
+        }
+        let entry = self.path[self.idx - 1];
+        self.op.footprint(&self.shape.regs(entry.node), fp);
+        self.idx == 1
+    }
+
+    /// Adds every register the rest of this `ReleaseName` may touch to
+    /// `fp`'s future sets: the release footprint of each splitter still on
+    /// the path.
+    pub fn future_footprint(&self, fp: &mut Footprint) {
+        for e in &self.path[..self.idx] {
+            let regs = self.shape.regs(e.node);
+            fp.future_read(regs.last);
+            fp.future_write(regs.a1);
+        }
     }
 
     /// Encodes machine state for model-checker keys.
@@ -355,6 +398,22 @@ impl ProtocolCore for SplitCore {
 
     fn step_release(&self, r: &mut SplitRelease, mem: &dyn Memory) -> bool {
         r.step(mem)
+    }
+
+    fn acquire_footprint(&self, a: &SplitAcquire, fp: &mut Footprint) -> bool {
+        a.footprint(fp)
+    }
+
+    fn release_footprint(&self, r: &SplitRelease, fp: &mut Footprint) -> bool {
+        r.footprint(fp)
+    }
+
+    fn future_footprint(&self, fp: &mut Footprint) {
+        self.shape.future_footprint(fp);
+    }
+
+    fn release_future_footprint(&self, r: &SplitRelease, fp: &mut Footprint) {
+        r.future_footprint(fp);
     }
 
     fn token_name(&self, token: &SplitToken) -> Option<Name> {

@@ -44,6 +44,7 @@
 
 use crate::types::enc::{self, Adv};
 use crate::types::{Direction, Pid};
+use llr_mc::Footprint;
 use llr_mem::{Layout, Loc, Memory, Word};
 
 /// The three shared registers of one splitter.
@@ -66,6 +67,16 @@ impl SplitterRegs {
             last: layout.scalar(format!("{name}.LAST"), 0),
             a1: layout.scalar(format!("{name}.A1"), enc::POS),
             a2: layout.scalar(format!("{name}.A2"), enc::POS),
+        }
+    }
+
+    /// Adds all three registers to `fp`'s future read and write sets: the
+    /// lifetime footprint of any process that may still enter or release
+    /// this splitter.
+    pub fn future_footprint(&self, fp: &mut Footprint) {
+        for loc in [self.last, self.a1, self.a2] {
+            fp.future_read(loc);
+            fp.future_write(loc);
         }
     }
 }
@@ -175,6 +186,24 @@ impl EnterOp {
         }
     }
 
+    /// Declares the register the next [`step`](Self::step) touches into
+    /// `fp`; returns `true` iff that step may complete the `Enter`.
+    pub fn footprint(&self, regs: &SplitterRegs, fp: &mut Footprint) -> bool {
+        match self.pc {
+            EnterPc::WriteLast => fp.write(regs.last),
+            EnterPc::ReadA1 => fp.read(regs.a1),
+            EnterPc::ReadA2 => fp.read(regs.a2),
+            EnterPc::WriteA1 => fp.write(regs.a1),
+            EnterPc::ReadLast1 => fp.read(regs.last),
+            EnterPc::WriteA2 => fp.write(regs.a2),
+            EnterPc::ReadLast2 => {
+                fp.read(regs.last);
+                return true;
+            }
+        }
+        false
+    }
+
     /// The advice value this invocation settled on (valid after the
     /// `ReadA1`/`ReadA2` statements have run).
     pub fn advice(&self) -> Adv {
@@ -267,6 +296,25 @@ impl ReleaseOp {
                 true
             }
         }
+    }
+
+    /// Declares the register the next [`step`](Self::step) touches into
+    /// `fp`. Every `Release` step may complete, so there is no flag to
+    /// return.
+    pub fn footprint(&self, regs: &SplitterRegs, fp: &mut Footprint) {
+        match self.pc {
+            ReleasePc::ReadLast => fp.read(regs.last),
+            ReleasePc::WriteRestore | ReleasePc::WriteBot => fp.write(regs.a1),
+        }
+    }
+
+    /// Adds every register the rest of this `Release` may touch to `fp`'s
+    /// future sets.
+    pub fn future_footprint(&self, regs: &SplitterRegs, fp: &mut Footprint) {
+        if matches!(self.pc, ReleasePc::ReadLast) {
+            fp.future_read(regs.last);
+        }
+        fp.future_write(regs.a1);
     }
 
     /// Encodes the micro-machine state for model-checker keys.
@@ -387,6 +435,23 @@ impl crate::session::ProtocolCore for SplitterCore {
 
     fn step_release(&self, r: &mut SplitterRelease, mem: &dyn Memory) -> bool {
         r.op.step(&self.regs, self.pid, r.advice, r.adv2, mem)
+    }
+
+    fn acquire_footprint(&self, op: &EnterOp, fp: &mut Footprint) -> bool {
+        op.footprint(&self.regs, fp)
+    }
+
+    fn release_footprint(&self, r: &SplitterRelease, fp: &mut Footprint) -> bool {
+        r.op.footprint(&self.regs, fp);
+        true
+    }
+
+    fn future_footprint(&self, fp: &mut Footprint) {
+        self.regs.future_footprint(fp);
+    }
+
+    fn release_future_footprint(&self, r: &SplitterRelease, fp: &mut Footprint) {
+        r.op.future_footprint(&self.regs, fp);
     }
 
     fn key_acquire(&self, op: &EnterOp, out: &mut Vec<Word>) {

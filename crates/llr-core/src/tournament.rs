@@ -29,6 +29,7 @@
 
 use crate::pf::{self, MeEnter, MeRegs, Side};
 use crate::types::Pid;
+use llr_mc::Footprint;
 use llr_mem::{Layout, Memory, Word};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -108,6 +109,17 @@ impl TreeShape {
             .blocks
             .get(&(level, Self::block_index(p, level)))
             .unwrap_or_else(|| panic!("block (level {level}) for pid {p} was never allocated"))
+    }
+
+    /// Adds process `p`'s lifetime footprint on this tree — its side of
+    /// every block on its root path — to `fp`'s future sets. The path is
+    /// fixed arithmetic on `p`, so this is exact, not a conservative
+    /// over-approximation: two processes conflict on a tree iff their
+    /// root paths share a block.
+    pub fn path_future_footprint(&self, p: Pid, fp: &mut Footprint) {
+        for level in 1..=self.levels {
+            pf::side_future_footprint(&self.block_for(p, level), Self::side_at(p, level), fp);
+        }
     }
 }
 
@@ -359,6 +371,43 @@ impl crate::session::ProtocolCore for TreeCore {
         } else {
             r.level -= 1;
             false
+        }
+    }
+
+    fn acquire_footprint(&self, a: &TreeClimb, fp: &mut Footprint) -> bool {
+        match &a.stage {
+            ClimbStage::Entering(op) => {
+                let level = a.progress.entered_level() + 1;
+                op.footprint(&self.shape.block_for(self.pid, level), fp);
+                // Completing the Enter only moves to Waiting.
+                false
+            }
+            ClimbStage::Waiting => {
+                let level = a.progress.entered_level();
+                let regs = self.shape.block_for(self.pid, level);
+                pf::check_footprint(&regs, TreeShape::side_at(self.pid, level), fp);
+                // Winning the root check completes the climb.
+                level == self.shape.levels()
+            }
+        }
+    }
+
+    fn release_footprint(&self, r: &TreeRelease, fp: &mut Footprint) -> bool {
+        let regs = self.shape.block_for(self.pid, r.level);
+        pf::release_footprint(&regs, TreeShape::side_at(self.pid, r.level), fp);
+        r.level == 1
+    }
+
+    fn future_footprint(&self, fp: &mut Footprint) {
+        self.shape.path_future_footprint(self.pid, fp);
+    }
+
+    fn release_future_footprint(&self, r: &TreeRelease, fp: &mut Footprint) {
+        // The descent only writes nil to our own side of each remaining
+        // block on the path.
+        for level in 1..=r.level {
+            let regs = self.shape.block_for(self.pid, level);
+            fp.future_write(regs.r[TreeShape::side_at(self.pid, level)]);
         }
     }
 

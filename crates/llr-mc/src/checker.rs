@@ -7,6 +7,7 @@
 //! per-transition allocation, and an incremental 128-bit hash for the
 //! memory-lean dedup mode.
 
+use crate::por::AmpleCtx;
 use crate::rng::SplitMix64;
 use crate::spill::SpillConfig;
 use crate::StepMachine;
@@ -273,6 +274,15 @@ struct Frame<M> {
     next: usize,
     /// Which machine's step produced this state (usize::MAX for the root).
     via: usize,
+    /// Whether the ample-set decision has been made for this state (POR).
+    decided: bool,
+    /// The chosen ample machine, not yet stepped (POR).
+    ample_pending: bool,
+    /// Index of the chosen ample machine when `ample_pending`.
+    ample_idx: usize,
+    /// On ample fallback (cycle proviso), the machine already stepped from
+    /// this state; the full-expansion cursor skips it. `usize::MAX` = none.
+    skip: usize,
 }
 
 /// Explores every interleaving of a set of [`StepMachine`]s over a shared
@@ -296,6 +306,7 @@ pub struct ModelChecker<M> {
     symmetry: bool,
     workers: usize,
     spill: Option<SpillConfig>,
+    por: bool,
 }
 
 impl<M: StepMachine> ModelChecker<M> {
@@ -310,6 +321,7 @@ impl<M: StepMachine> ModelChecker<M> {
             symmetry: false,
             workers: 1,
             spill: None,
+            por: false,
         }
     }
 
@@ -349,6 +361,44 @@ impl<M: StepMachine> ModelChecker<M> {
     /// future pid-normalizing specs.
     pub fn symmetry_reduction(mut self, on: bool) -> Self {
         self.symmetry = on;
+        self
+    }
+
+    /// Enables partial-order reduction: at states where one machine's next
+    /// step is declared (via [`StepMachine::footprint`]), invisible, and
+    /// independent of everything the other running machines may still do,
+    /// only that step is explored.
+    ///
+    /// This can shrink the explored state count by orders of magnitude for
+    /// protocols whose processes mostly work on disjoint registers (the
+    /// FILTER family), while preserving:
+    ///
+    /// * **safety verdicts** for invariants over *invariant-observable*
+    ///   state — held names and done flags (uniqueness, exclusion). If the
+    ///   invariant fails anywhere in the full graph, the reduced search
+    ///   reports a violation too (possibly via a different, Mazurkiewicz-
+    ///   equivalent schedule);
+    /// * **terminal states** — exactly the same all-done states (and count)
+    ///   are reached, so renaming outcomes are unaffected;
+    /// * [`check_always_terminable`](Self::check_always_terminable) — the
+    ///   reduction keeps singleton-or-full successor sets with the cycle
+    ///   proviso, which preserves the always-terminable verdict.
+    ///
+    /// It is **not** sound for invariants that read raw register contents
+    /// (e.g. a deadlock predicate over memory words): reduced-away states
+    /// differ from visited ones in register values. Keep it off for those.
+    ///
+    /// Off by default. Composes with every engine ([`check`](Self::check),
+    /// [`check_parallel`](Self::check_parallel), and the
+    /// [`spill_dir`](Self::spill_dir) backend). Under reduction the two
+    /// breadth-first backends (in-RAM and spill) visit bit-for-bit the
+    /// same states at every worker count and budget; the DFS applies the
+    /// cycle proviso in its own visit order, so it may settle on a
+    /// different (equally sound) reduced subset — verdicts and terminal
+    /// states still agree. `tests/por_equivalence.rs` pins all of this
+    /// differentially.
+    pub fn por(mut self, on: bool) -> Self {
+        self.por = on;
         self
     }
 
@@ -470,6 +520,11 @@ impl<M: StepMachine> ModelChecker<M> {
         self.spill.as_ref()
     }
 
+    /// Whether partial-order reduction is enabled.
+    pub(crate) fn por_on(&self) -> bool {
+        self.por
+    }
+
     /// Exhaustively explores the state space depth-first, checking
     /// `invariant` in every reachable state (including the initial one).
     ///
@@ -528,25 +583,45 @@ impl<M: StepMachine> ModelChecker<M> {
             done: done0,
             next: 0,
             via: usize::MAX,
+            decided: false,
+            ample_pending: false,
+            ample_idx: 0,
+            skip: usize::MAX,
         }];
         // Recycled frames: their Vec allocations are reused by clone_from /
         // snapshot_into, so steady-state exploration stops allocating.
         let mut pool: Vec<Frame<M>> = Vec::new();
+        let mut ample = AmpleCtx::new();
 
         loop {
             let depth = stack.len();
             let Some(top) = stack.last_mut() else { break };
-            // Pick the next not-yet-tried, not-done machine.
-            let mut i = top.next;
-            while i < top.machines.len() && top.done[i] {
-                i += 1;
+            if self.por && !top.decided {
+                top.decided = true;
+                if let Some(a) = ample.choose(&top.machines, &top.done) {
+                    top.ample_idx = a;
+                    top.ample_pending = true;
+                }
             }
-            if i >= top.machines.len() {
-                let spent = stack.pop().expect("stack is nonempty");
-                pool.push(spent);
-                continue;
-            }
-            top.next = i + 1;
+            // Pick the machine to step: the pending ample singleton, or the
+            // next not-yet-tried, not-done, not-skipped machine.
+            let ample_attempt = top.ample_pending;
+            let i = if ample_attempt {
+                top.ample_pending = false;
+                top.ample_idx
+            } else {
+                let mut i = top.next;
+                while i < top.machines.len() && (top.done[i] || i == top.skip) {
+                    i += 1;
+                }
+                if i >= top.machines.len() {
+                    let spent = stack.pop().expect("stack is nonempty");
+                    pool.push(spent);
+                    continue;
+                }
+                top.next = i + 1;
+                i
+            };
 
             mem.restore(&top.mem);
             let mut mi = top.machines[i].clone();
@@ -561,6 +636,18 @@ impl<M: StepMachine> ModelChecker<M> {
             } else {
                 visited_exact.insert(key.into())
             };
+            if ample_attempt {
+                if fresh {
+                    // The ample singleton is this state's only branch.
+                    top.next = top.machines.len();
+                } else {
+                    // Cycle proviso: the ample successor was already visited
+                    // (possibly down the current DFS path), so the singleton
+                    // could defer a conflicting step forever around a cycle.
+                    // Expand fully, skipping the step just taken.
+                    top.skip = i;
+                }
+            }
             if !fresh {
                 continue;
             }
@@ -573,6 +660,10 @@ impl<M: StepMachine> ModelChecker<M> {
                 done: Vec::new(),
                 next: 0,
                 via: 0,
+                decided: false,
+                ample_pending: false,
+                ample_idx: 0,
+                skip: usize::MAX,
             });
             mem.snapshot_into(&mut frame.mem);
             frame.machines.clone_from(&top.machines);
@@ -582,6 +673,9 @@ impl<M: StepMachine> ModelChecker<M> {
             frame.done[i] = done_i;
             frame.next = 0;
             frame.via = i;
+            frame.decided = false;
+            frame.ample_pending = false;
+            frame.skip = usize::MAX;
 
             let terminal = frame.done.iter().all(|&d| d);
             if terminal {

@@ -65,6 +65,11 @@ pub enum Engine {
         /// Worker threads; `0` means one per core.
         workers: usize,
     },
+    /// The inner backend with partial-order reduction turned on
+    /// ([`ModelChecker::por`]). Only sound for invariants over held
+    /// names and done-ness — see the `por` builder docs for the exact
+    /// contract.
+    Reduced(Box<Engine>),
 }
 
 impl Engine {
@@ -88,6 +93,17 @@ impl Engine {
             Engine::Spill { budget_bytes, workers, .. } => {
                 format!("bfs+spill:{}w:{}MiB", resolve(*workers), budget_bytes >> 20)
             }
+            Engine::Reduced(inner) => format!("{}+por", inner.label()),
+        }
+    }
+
+    /// Whether the backend (or, for [`Engine::Reduced`], its inner
+    /// backend) spills the visited set to disk.
+    pub fn spills(&self) -> bool {
+        match self {
+            Engine::Spill { .. } => true,
+            Engine::Reduced(inner) => inner.spills(),
+            _ => false,
         }
     }
 }
@@ -111,6 +127,7 @@ impl<M: StepMachine + Send + Sync> ModelChecker<M> {
                 .workers(*workers)
                 .spill_dir(dir.clone(), *budget_bytes)
                 .check_parallel(invariant),
+            Engine::Reduced(inner) => self.por(true).check_with(inner, invariant),
         }
     }
 }

@@ -32,6 +32,7 @@
 //! [`CheckStats::peak_resident_bytes`](crate::CheckStats::peak_resident_bytes).
 
 use crate::checker::{hash128, CheckError, CheckStats, KeyBuilder, ModelChecker, Violation, World};
+use crate::por::AmpleCtx;
 use crate::StepMachine;
 use llr_mem::{Memory as _, SimMemory, Word};
 use std::collections::HashMap;
@@ -136,6 +137,12 @@ pub(crate) struct WorkerOut<M> {
     pub(crate) fresh: Vec<Option<FrontierState<M>>>,
     pub(crate) transitions: u64,
     pub(crate) edges: Vec<(u32, EdgeTo)>,
+    /// States this worker expanded via an ample singleton, recorded (when
+    /// requested) as `(frontier index, ample machine, successor hash)` so
+    /// the spill backend can re-check the cycle proviso against the
+    /// on-disk visited set at join time and patch up with a full
+    /// expansion where it fires.
+    pub(crate) reduced: Vec<(u32, u8, u128)>,
 }
 
 /// The engine's result: exploration stats plus the spanning-tree parent
@@ -162,9 +169,116 @@ pub(crate) fn schedule_to(parent: &[(u32, u8)], mut id: u32) -> Vec<usize> {
     schedule
 }
 
+/// Steps machine `i` of frontier state `st` and routes the successor:
+/// frozen states only record an edge, unknown states are materialized and
+/// min-merged into the `pending` shards. Returns the successor's hash and
+/// whether it was found frozen (the spill backend needs the hash for its
+/// join-time proviso re-check; the in-RAM engines use only the flag).
+#[allow(clippy::too_many_arguments)]
+fn step_state<M, K, L>(
+    st: &FrontierState<M>,
+    i: usize,
+    wmem: &SimMemory,
+    kb: &mut KeyBuilder,
+    pending: &[Mutex<HashMap<K, Pend>>],
+    symmetry: bool,
+    record_edges: bool,
+    frozen_find: &L,
+    w: usize,
+    out: &mut WorkerOut<M>,
+) -> (bool, u128)
+where
+    M: StepMachine,
+    K: EngineKey,
+    L: Fn(&[u64], u128) -> Option<u32>,
+{
+    wmem.restore(&st.snap);
+    let mut mi = st.machines[i].clone();
+    let done_i = mi.step(wmem).is_done();
+    out.transitions += 1;
+    let kbuf = kb.build(wmem, &st.machines, &st.done, Some((i, &mi, done_i)), symmetry);
+    let h = hash128(kbuf);
+    let sh = shard_of(h);
+    if let Some(id) = frozen_find(kbuf, h) {
+        if record_edges {
+            out.edges.push((st.id, EdgeTo::Known(id)));
+        }
+        return (true, h);
+    }
+    // First lock: min-merge if some worker already materialized this
+    // state this layer.
+    let hit = {
+        let mut g = pending[sh].lock().expect("shard poisoned");
+        if let Some(p) = K::find_mut(&mut g, kbuf, h) {
+            if (st.id, i as u8) < (p.parent, p.via) {
+                p.parent = st.id;
+                p.via = i as u8;
+            }
+            Some((p.worker, p.idx))
+        } else {
+            None
+        }
+    };
+    let (w2, idx2) = match hit {
+        Some(wi) => wi,
+        None => {
+            // Materialize outside the lock, then double-check: another
+            // worker may have inserted the same state meanwhile.
+            let mut machines = st.machines.clone();
+            machines[i] = mi;
+            let mut done = st.done.clone();
+            done[i] = done_i;
+            let snap = wmem.snapshot();
+            let mut g = pending[sh].lock().expect("shard poisoned");
+            if let Some(p) = K::find_mut(&mut g, kbuf, h) {
+                if (st.id, i as u8) < (p.parent, p.via) {
+                    p.parent = st.id;
+                    p.via = i as u8;
+                }
+                (p.worker, p.idx)
+            } else {
+                let idx = out.fresh.len() as u32;
+                g.insert(
+                    K::make(kbuf, h),
+                    Pend {
+                        worker: w as u32,
+                        idx,
+                        parent: st.id,
+                        via: i as u8,
+                        h,
+                    },
+                );
+                drop(g);
+                out.fresh.push(Some(FrontierState {
+                    snap,
+                    machines,
+                    done,
+                    id: u32::MAX,
+                }));
+                (w as u32, idx)
+            }
+        }
+    };
+    if record_edges {
+        out.edges.push((st.id, EdgeTo::Fresh(w2, idx2)));
+    }
+    (false, h)
+}
+
 /// Expands one breadth-first layer over `workers` scoped threads.
 ///
-/// Every frontier state's every runnable machine is stepped once.
+/// Every frontier state's every runnable machine is stepped once — unless
+/// `por` is on and [`AmpleCtx::choose`] picks an ample singleton for the
+/// state, in which case only that machine is stepped. If the ample
+/// successor is found *frozen* (discovered in an earlier-or-current
+/// layer), the cycle proviso fires and the state is expanded fully after
+/// all: a cycle in the reduced graph must contain an edge into an
+/// earlier-or-equal layer, so no step is ignored forever. With
+/// `record_reduced`, states left reduced are reported in
+/// [`WorkerOut::reduced`] so the spill backend — whose `frozen_find` only
+/// sees the in-RAM delta of the visited set — can redo the proviso check
+/// against disk at join time.
+///
 /// Successors are looked up in the frozen set via `frozen_find` (which
 /// returns the frozen id, used only for edge recording — the in-RAM
 /// engine passes a sharded-map lookup, the spill engine a membership
@@ -174,12 +288,15 @@ pub(crate) fn schedule_to(parent: &[(u32, u8)], mut id: u32) -> Vec<usize> {
 /// This is the only concurrent phase of either backend; everything the
 /// caller does afterwards (draining `pending` in `(parent, via)` order)
 /// is sequential and deterministic.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn expand_layer<M, K, L>(
     frontier: &[FrontierState<M>],
     pending: &[Mutex<HashMap<K, Pend>>],
     workers: usize,
     symmetry: bool,
     record_edges: bool,
+    por: bool,
+    record_reduced: bool,
     frozen_find: &L,
 ) -> Vec<WorkerOut<M>>
 where
@@ -201,95 +318,47 @@ where
                         fresh: Vec::new(),
                         transitions: 0,
                         edges: Vec::new(),
+                        reduced: Vec::new(),
                     };
                     if lo >= hi {
                         return out;
                     }
                     let mut kb = KeyBuilder::default();
+                    let mut ample = AmpleCtx::new();
                     // Worker-private register file, restored per state.
                     let wmem = SimMemory::with_values(&frontier[lo].snap);
-                    for st in &frontier[lo..hi] {
-                        for i in 0..st.machines.len() {
-                            if st.done[i] {
-                                continue;
-                            }
-                            wmem.restore(&st.snap);
-                            let mut mi = st.machines[i].clone();
-                            let done_i = mi.step(&wmem).is_done();
-                            out.transitions += 1;
-                            let kbuf = kb.build(
-                                &wmem,
-                                &st.machines,
-                                &st.done,
-                                Some((i, &mi, done_i)),
-                                symmetry,
-                            );
-                            let h = hash128(kbuf);
-                            let sh = shard_of(h);
-                            if let Some(id) = frozen_find(kbuf, h) {
-                                if record_edges {
-                                    out.edges.push((st.id, EdgeTo::Known(id)));
-                                }
-                                continue;
-                            }
-                            // First lock: min-merge if some worker already
-                            // materialized this state this layer.
-                            let hit = {
-                                let mut g = pending[sh].lock().expect("shard poisoned");
-                                if let Some(p) = K::find_mut(&mut g, kbuf, h) {
-                                    if (st.id, i as u8) < (p.parent, p.via) {
-                                        p.parent = st.id;
-                                        p.via = i as u8;
-                                    }
-                                    Some((p.worker, p.idx))
-                                } else {
-                                    None
-                                }
-                            };
-                            let (w2, idx2) = match hit {
-                                Some(wi) => wi,
-                                None => {
-                                    // Materialize outside the lock, then
-                                    // double-check: another worker may have
-                                    // inserted the same state meanwhile.
-                                    let mut machines = st.machines.clone();
-                                    machines[i] = mi;
-                                    let mut done = st.done.clone();
-                                    done[i] = done_i;
-                                    let snap = wmem.snapshot();
-                                    let mut g =
-                                        pending[sh].lock().expect("shard poisoned");
-                                    if let Some(p) = K::find_mut(&mut g, kbuf, h) {
-                                        if (st.id, i as u8) < (p.parent, p.via) {
-                                            p.parent = st.id;
-                                            p.via = i as u8;
+                    for (fi, st) in frontier.iter().enumerate().take(hi).skip(lo) {
+                        if por {
+                            if let Some(a) = ample.choose(&st.machines, &st.done) {
+                                let (frozen, h) = step_state(
+                                    st, a, &wmem, &mut kb, pending, symmetry,
+                                    record_edges, frozen_find, w, &mut out,
+                                );
+                                if frozen {
+                                    // Cycle proviso: fall back to full
+                                    // expansion (the ample step is already
+                                    // taken and counted).
+                                    for j in 0..st.machines.len() {
+                                        if j != a && !st.done[j] {
+                                            step_state(
+                                                st, j, &wmem, &mut kb, pending,
+                                                symmetry, record_edges,
+                                                frozen_find, w, &mut out,
+                                            );
                                         }
-                                        (p.worker, p.idx)
-                                    } else {
-                                        let idx = out.fresh.len() as u32;
-                                        g.insert(
-                                            K::make(kbuf, h),
-                                            Pend {
-                                                worker: w as u32,
-                                                idx,
-                                                parent: st.id,
-                                                via: i as u8,
-                                                h,
-                                            },
-                                        );
-                                        drop(g);
-                                        out.fresh.push(Some(FrontierState {
-                                            snap,
-                                            machines,
-                                            done,
-                                            id: u32::MAX,
-                                        }));
-                                        (w as u32, idx)
                                     }
+                                } else if record_reduced {
+                                    out.reduced.push((fi as u32, a as u8, h));
                                 }
-                            };
-                            if record_edges {
-                                out.edges.push((st.id, EdgeTo::Fresh(w2, idx2)));
+                                continue;
+                            }
+                        }
+                        for i in 0..st.machines.len() {
+                            if !st.done[i] {
+                                step_state(
+                                    st, i, &wmem, &mut kb, pending, symmetry,
+                                    record_edges, frozen_find, w, &mut out,
+                                );
                             }
                         }
                     }
@@ -393,7 +462,19 @@ where
             (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect();
         let frozen_ref = &frozen;
         let find = |buf: &[u64], h: u128| K::find(&frozen_ref[shard_of(h)], buf, h);
-        let mut outs = expand_layer(&frontier, &pending, workers, symmetry, record_edges, &find);
+        // The in-RAM frozen set is the complete visited set, so the cycle
+        // proviso is fully handled inside `expand_layer`; no reduced-state
+        // records are needed.
+        let mut outs = expand_layer(
+            &frontier,
+            &pending,
+            workers,
+            symmetry,
+            record_edges,
+            mc.por_on(),
+            false,
+            &find,
+        );
 
         stats.transitions += outs.iter().map(|o| o.transitions).sum::<u64>();
         let materialized: usize = outs.iter().map(|o| o.fresh.len()).sum();

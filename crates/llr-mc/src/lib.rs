@@ -90,6 +90,7 @@ mod drive;
 mod engine;
 mod liveness;
 mod machine;
+mod por;
 mod rng;
 mod spill;
 
@@ -97,6 +98,7 @@ pub use checker::{CheckError, CheckStats, ModelChecker, Violation, World};
 pub use drive::Engine;
 pub use liveness::LivenessStats;
 pub use machine::{MachineStatus, StepMachine};
+pub use por::{independent, Footprint};
 pub use rng::SplitMix64;
 
 #[cfg(test)]

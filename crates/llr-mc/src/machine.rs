@@ -1,5 +1,6 @@
 //! The step-machine abstraction: a process as an explicit state machine.
 
+use crate::por::Footprint;
 use llr_mem::Memory;
 
 /// Whether a machine can take further steps.
@@ -58,4 +59,23 @@ pub trait StepMachine: Clone {
 
     /// One-line human-readable state description for counterexample traces.
     fn describe(&self) -> String;
+
+    /// Describes, without stepping, what the machine's next step and
+    /// remaining lifetime may access, for partial-order reduction.
+    ///
+    /// The declared sets must **over-approximate** actual behaviour: every
+    /// register the next step reads (writes) must be in the footprint's
+    /// next-step read (write) set, every register any later step may touch
+    /// must be in the future sets, and a step that may change whether or
+    /// which name the machine holds — or whether it is done — must be marked
+    /// [`Footprint::set_visible`]. `tests/footprint_audit.rs` checks both
+    /// halves of this contract against recorded accesses: each step must
+    /// stay inside its declared next-step sets, and inside every future
+    /// set the machine claimed at any earlier point of the run.
+    ///
+    /// The default declares the footprint unknown, which soundly disables
+    /// reduction around this machine.
+    fn footprint(&self, fp: &mut Footprint) {
+        fp.set_unknown();
+    }
 }

@@ -1,0 +1,383 @@
+//! Partial-order reduction: footprints, independence, ample-set selection.
+//!
+//! The checker explores interleavings of atomic steps. Two steps that touch
+//! disjoint shared registers **commute**: executing them in either order
+//! reaches the same global state. Exploring both orders is pure waste, and
+//! for the FILTER family that waste is exponential in the number of
+//! contenders. This module implements the classic remedy — persistent
+//! (ample) sets computed from declared per-step register *footprints* — as
+//! an opt-in layer underneath all three exploration backends.
+//!
+//! # The contract
+//!
+//! Each [`StepMachine`](crate::StepMachine) may describe, *without stepping*,
+//! what its next step can touch ([`Footprint::read`] / [`Footprint::write`])
+//! and what the machine may ever touch again in its remaining lifetime
+//! ([`Footprint::future_read`] / [`Footprint::future_write`]). Declared sets
+//! must be **supersets** of actual accesses (over-approximation is sound,
+//! omission is not — `tests/footprint_audit.rs` enforces this per protocol).
+//! A machine that cannot tell calls [`Footprint::set_unknown`], which
+//! disables reduction around it; this is the default, so existing specs are
+//! unaffected until they opt in.
+//!
+//! A step that may change *invariant-observable* facts — whether the machine
+//! holds a name, which name, or whether it is done — must call
+//! [`Footprint::set_visible`]. Reduction only ever picks invisible steps, so
+//! every invariant over held names and done-ness (uniqueness, exclusion) is
+//! checked on a sufficient set of states. Invariants that read raw register
+//! contents (e.g. a deadlock predicate over memory) are **outside** this
+//! contract and must be checked without reduction.
+//!
+//! # The independence relation
+//!
+//! Steps `a` and `b` are independent iff neither writes what the other
+//! touches ([`independent`]): `W(a) ∩ (R(b) ∪ W(b)) = ∅` and
+//! `W(b) ∩ R(a) = ∅`. Independent steps commute exactly (the diamond
+//! property; pinned by a property test in `tests/random_schedules.rs`).
+//!
+//! # The ample-set condition
+//!
+//! At a state with several running machines, [`AmpleCtx::choose`] looks for
+//! the lowest-indexed machine `i` whose next step is (a) declared, (b)
+//! invisible, and (c) independent of **every step the other running machines
+//! may ever take** (their future footprints — this is what makes the
+//! singleton persistent: no path through other machines can enable a
+//! conflict with `i`'s pending step, because machines are deterministic and
+//! always enabled, and future footprints only shrink). If such an `i`
+//! exists the engine explores only `i`'s step from this state; otherwise it
+//! expands fully. The cycle proviso (C3) lives in the engines: if the ample
+//! successor was already visited, the state is expanded fully, so no
+//! transition is deferred forever around a cycle. Because every reduced
+//! state keeps at least one successor and all-done states are never reduced
+//! (they have no running machines), the reduced graph reaches **exactly**
+//! the same terminal states as full exploration.
+
+use llr_mem::Loc;
+
+/// Declared register footprint of a machine: what its next step may touch,
+/// what the rest of its lifetime may touch, and whether the next step can
+/// change invariant-observable state.
+///
+/// Built by [`StepMachine::footprint`](crate::StepMachine::footprint) into a
+/// caller-provided buffer (the engines reuse these across states). All
+/// `Loc` sets are kept sorted and deduplicated internally.
+#[derive(Clone, Debug, Default)]
+pub struct Footprint {
+    reads: Vec<u32>,
+    writes: Vec<u32>,
+    fut_reads: Vec<u32>,
+    fut_writes: Vec<u32>,
+    visible: bool,
+    unknown: bool,
+    worst_next: bool,
+}
+
+fn insert_sorted(set: &mut Vec<u32>, v: u32) {
+    if let Err(pos) = set.binary_search(&v) {
+        set.insert(pos, v);
+    }
+}
+
+fn disjoint(a: &[u32], b: &[u32]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return false,
+        }
+    }
+    true
+}
+
+impl Footprint {
+    /// Creates an empty footprint (no accesses, invisible, known).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets to the empty footprint so the buffer can be rebuilt.
+    pub fn clear(&mut self) {
+        self.reads.clear();
+        self.writes.clear();
+        self.fut_reads.clear();
+        self.fut_writes.clear();
+        self.visible = false;
+        self.unknown = false;
+        self.worst_next = false;
+    }
+
+    /// Declares that the next step may read `loc` (also added to the future
+    /// read set — the next step is part of the remaining lifetime).
+    pub fn read(&mut self, loc: Loc) {
+        insert_sorted(&mut self.reads, loc.0);
+        insert_sorted(&mut self.fut_reads, loc.0);
+    }
+
+    /// Declares that the next step may write `loc` (also added to the future
+    /// write set).
+    pub fn write(&mut self, loc: Loc) {
+        insert_sorted(&mut self.writes, loc.0);
+        insert_sorted(&mut self.fut_writes, loc.0);
+    }
+
+    /// Declares that some later step may read `loc`.
+    pub fn future_read(&mut self, loc: Loc) {
+        insert_sorted(&mut self.fut_reads, loc.0);
+    }
+
+    /// Declares that some later step may write `loc`.
+    pub fn future_write(&mut self, loc: Loc) {
+        insert_sorted(&mut self.fut_writes, loc.0);
+    }
+
+    /// Declares that the next step may perform *any* access in the future
+    /// sets. Used where enumerating the precise next access is not worth the
+    /// code (the step stays a reduction candidate for *other* machines'
+    /// persistence checks via its future sets).
+    pub fn assume_worst_next(&mut self) {
+        self.worst_next = true;
+    }
+
+    /// Declares that the next step may change invariant-observable state
+    /// (acquire or release a name, or finish the workload). Visible steps
+    /// are never chosen as the ample singleton.
+    pub fn set_visible(&mut self) {
+        self.visible = true;
+    }
+
+    /// Declares the footprint unknown: no reduction is attempted at states
+    /// where this machine runs, and no claim is made about its accesses.
+    /// This is the [`StepMachine`](crate::StepMachine) default.
+    pub fn set_unknown(&mut self) {
+        self.unknown = true;
+    }
+
+    /// Whether [`set_unknown`](Self::set_unknown) was called.
+    pub fn is_unknown(&self) -> bool {
+        self.unknown
+    }
+
+    /// Whether [`set_visible`](Self::set_visible) was called.
+    pub fn is_visible(&self) -> bool {
+        self.visible
+    }
+
+    /// The declared next-step read set (the future read set under
+    /// [`assume_worst_next`](Self::assume_worst_next)).
+    fn next_reads(&self) -> &[u32] {
+        if self.worst_next {
+            &self.fut_reads
+        } else {
+            &self.reads
+        }
+    }
+
+    /// The declared next-step write set (the future write set under
+    /// [`assume_worst_next`](Self::assume_worst_next)).
+    fn next_writes(&self) -> &[u32] {
+        if self.worst_next {
+            &self.fut_writes
+        } else {
+            &self.writes
+        }
+    }
+
+    /// Whether a read of `loc` by the next step is covered by this
+    /// declaration (unknown footprints cover everything — they claim
+    /// nothing). Used by the footprint audit.
+    pub fn covers_read(&self, loc: Loc) -> bool {
+        self.unknown || self.next_reads().binary_search(&loc.0).is_ok()
+    }
+
+    /// Whether a write of `loc` by the next step is covered by this
+    /// declaration. Used by the footprint audit.
+    pub fn covers_write(&self, loc: Loc) -> bool {
+        self.unknown || self.next_writes().binary_search(&loc.0).is_ok()
+    }
+
+    /// Whether a read of `loc` by *any* later step is covered by the
+    /// declared future read set. The audit checks every access a machine
+    /// ever performs against every future claim it made earlier — future
+    /// footprints may only shrink, never regrow.
+    pub fn covers_future_read(&self, loc: Loc) -> bool {
+        self.unknown || self.fut_reads.binary_search(&loc.0).is_ok()
+    }
+
+    /// Whether a write of `loc` by any later step is covered by the
+    /// declared future write set.
+    pub fn covers_future_write(&self, loc: Loc) -> bool {
+        self.unknown || self.fut_writes.binary_search(&loc.0).is_ok()
+    }
+
+    /// Whether the next step declares no shared accesses at all (a pure
+    /// machine-local transition).
+    fn next_is_local(&self) -> bool {
+        self.next_reads().is_empty() && self.next_writes().is_empty()
+    }
+
+    /// Whether this machine's *next* step is independent of every step `other`
+    /// may ever take (checks against `other`'s future sets).
+    fn next_independent_of_future(&self, other: &Footprint) -> bool {
+        if other.unknown {
+            return self.next_is_local();
+        }
+        disjoint(self.next_writes(), &other.fut_reads)
+            && disjoint(self.next_writes(), &other.fut_writes)
+            && disjoint(self.next_reads(), &other.fut_writes)
+    }
+}
+
+/// Whether the next steps described by `a` and `b` are independent: neither
+/// writes a register the other reads or writes. Independent steps commute —
+/// from any state, executing them in either order reaches the same state.
+/// Unknown footprints are never independent of anything.
+pub fn independent(a: &Footprint, b: &Footprint) -> bool {
+    if a.unknown || b.unknown {
+        return false;
+    }
+    disjoint(a.next_writes(), b.next_reads())
+        && disjoint(a.next_writes(), b.next_writes())
+        && disjoint(b.next_writes(), a.next_reads())
+}
+
+/// Reusable ample-set selector: owns the footprint buffers so per-state
+/// selection allocates nothing in steady state.
+#[derive(Default)]
+pub(crate) struct AmpleCtx {
+    fps: Vec<Footprint>,
+}
+
+impl AmpleCtx {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Picks the ample singleton for a state, or `None` to expand fully.
+    ///
+    /// Returns the lowest machine index whose next step is declared,
+    /// invisible, and independent of every other running machine's entire
+    /// remaining footprint. States with fewer than two running machines are
+    /// never reduced (there is nothing to save).
+    pub(crate) fn choose<M: crate::StepMachine>(
+        &mut self,
+        machines: &[M],
+        done: &[bool],
+    ) -> Option<usize> {
+        let n = machines.len();
+        if self.fps.len() < n {
+            self.fps.resize_with(n, Footprint::new);
+        }
+        let mut running = 0usize;
+        for i in 0..n {
+            if !done[i] {
+                running += 1;
+                self.fps[i].clear();
+                machines[i].footprint(&mut self.fps[i]);
+            }
+        }
+        if running < 2 {
+            return None;
+        }
+        'cand: for i in 0..n {
+            if done[i] {
+                continue;
+            }
+            let fp = &self.fps[i];
+            if fp.is_unknown() || fp.is_visible() {
+                continue;
+            }
+            for (j, dj) in done.iter().enumerate() {
+                if j == i || *dj {
+                    continue;
+                }
+                if !fp.next_independent_of_future(&self.fps[j]) {
+                    continue 'cand;
+                }
+            }
+            return Some(i);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjointness_and_independence() {
+        let mut a = Footprint::new();
+        a.read(Loc(1));
+        a.write(Loc(2));
+        let mut b = Footprint::new();
+        b.read(Loc(3));
+        b.write(Loc(4));
+        assert!(independent(&a, &b));
+        assert!(independent(&b, &a));
+
+        // Read–read sharing is fine.
+        let mut c = Footprint::new();
+        c.read(Loc(1));
+        assert!(independent(&a, &c));
+
+        // Write–read conflict in either direction is not.
+        let mut d = Footprint::new();
+        d.read(Loc(2));
+        assert!(!independent(&a, &d));
+        assert!(!independent(&d, &a));
+
+        // Write–write conflict is not.
+        let mut e = Footprint::new();
+        e.write(Loc(2));
+        assert!(!independent(&a, &e));
+    }
+
+    #[test]
+    fn unknown_is_never_independent() {
+        let mut u = Footprint::new();
+        u.set_unknown();
+        let empty = Footprint::new();
+        assert!(!independent(&u, &empty));
+        assert!(!independent(&empty, &u));
+    }
+
+    #[test]
+    fn worst_next_promotes_future_sets() {
+        let mut a = Footprint::new();
+        a.future_write(Loc(7));
+        a.assume_worst_next();
+        let mut b = Footprint::new();
+        b.read(Loc(7));
+        assert!(!independent(&a, &b));
+        assert!(a.covers_write(Loc(7)));
+        assert!(!a.covers_read(Loc(8)));
+    }
+
+    #[test]
+    fn coverage_checks() {
+        let mut fp = Footprint::new();
+        fp.read(Loc(5));
+        fp.write(Loc(6));
+        assert!(fp.covers_read(Loc(5)));
+        assert!(!fp.covers_read(Loc(6)));
+        assert!(fp.covers_write(Loc(6)));
+        assert!(!fp.covers_write(Loc(5)));
+        let mut u = Footprint::new();
+        u.set_unknown();
+        assert!(u.covers_read(Loc(0)) && u.covers_write(Loc(0)));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut fp = Footprint::new();
+        fp.read(Loc(1));
+        fp.set_visible();
+        fp.set_unknown();
+        fp.assume_worst_next();
+        fp.clear();
+        assert!(!fp.is_unknown());
+        assert!(!fp.is_visible());
+        assert!(!fp.covers_read(Loc(1)));
+    }
+}

@@ -57,7 +57,7 @@
 use crate::checker::{hash128, CheckError, CheckStats, KeyBuilder, ModelChecker, Violation, World};
 use crate::engine::{
     expand_layer, frontier_state_bytes, schedule_to, shard_of, Explored, FrontierState, Pend,
-    PEND_OVERHEAD_BYTES, SHARDS,
+    WorkerOut, PEND_OVERHEAD_BYTES, SHARDS,
 };
 use crate::StepMachine;
 use llr_mem::{Memory as _, SimMemory};
@@ -384,7 +384,9 @@ where
         // off on this path.
         let spill_ref = &spill;
         let find = |_buf: &[u64], h: u128| spill_ref.contains_recent(h).then_some(0);
-        let mut outs = expand_layer(&frontier, &pending, workers, symmetry, false, &find);
+        let por = mc.por_on();
+        let mut outs =
+            expand_layer(&frontier, &pending, workers, symmetry, false, por, por, &find);
 
         stats.transitions += outs.iter().map(|o| o.transitions).sum::<u64>();
         let materialized: usize = outs.iter().map(|o| o.fresh.len()).sum();
@@ -396,9 +398,102 @@ where
             let map = shard.into_inner().expect("shard poisoned");
             discovered.extend(map);
         }
-        discovered.sort_unstable_by_key(|(_, p)| (p.parent, p.via));
         let candidate_n = discovered.len() as u64;
-        let old = spill.probe_old(discovered.iter().map(|&(h, _)| h))?;
+        let mut old = spill.probe_old(discovered.iter().map(|&(h, _)| h))?;
+
+        // POR patch-up: the workers' proviso check only saw the in-RAM
+        // delta. A state left reduced whose ample successor turns out to
+        // be on disk would have been fully expanded by the in-RAM engine,
+        // so expand it fully here — sequentially and in frontier order,
+        // min-merging into the pending drain exactly as the workers would
+        // have. Successors the delta knows are skipped (frozen hits);
+        // the rest are probed against disk in a second pass. This keeps
+        // states, ids and violation schedules bit-for-bit identical to
+        // the in-RAM engine under reduction.
+        if por {
+            let mut patch: Vec<(u32, u8)> = outs
+                .iter()
+                .flat_map(|o| o.reduced.iter())
+                .filter(|&&(_, _, h)| old.contains(&h))
+                .map(|&(fi, a, _)| (fi, a))
+                .collect();
+            if !patch.is_empty() {
+                patch.sort_unstable();
+                let mut index: HashMap<u128, usize> = discovered
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(h, _))| (h, i))
+                    .collect();
+                let virt = outs.len() as u32;
+                outs.push(WorkerOut {
+                    fresh: Vec::new(),
+                    transitions: 0,
+                    edges: Vec::new(),
+                    reduced: Vec::new(),
+                });
+                let mut extras: Vec<u128> = Vec::new();
+                let mut kb = KeyBuilder::default();
+                for &(fi, a) in &patch {
+                    let st = &frontier[fi as usize];
+                    for j in 0..st.machines.len() {
+                        if j == a as usize || st.done[j] {
+                            continue;
+                        }
+                        check_mem.restore(&st.snap);
+                        let mut mj = st.machines[j].clone();
+                        let done_j = mj.step(&check_mem).is_done();
+                        stats.transitions += 1;
+                        let kbuf = kb.build(
+                            &check_mem,
+                            &st.machines,
+                            &st.done,
+                            Some((j, &mj, done_j)),
+                            symmetry,
+                        );
+                        let h = hash128(kbuf);
+                        if spill.contains_recent(h) {
+                            continue;
+                        }
+                        if let Some(&di) = index.get(&h) {
+                            let p = &mut discovered[di].1;
+                            if (st.id, j as u8) < (p.parent, p.via) {
+                                p.parent = st.id;
+                                p.via = j as u8;
+                            }
+                            continue;
+                        }
+                        let mut machines = st.machines.clone();
+                        machines[j] = mj;
+                        let mut done = st.done.clone();
+                        done[j] = done_j;
+                        let vw = outs.last_mut().expect("virtual worker just pushed");
+                        let idx = vw.fresh.len() as u32;
+                        vw.fresh.push(Some(FrontierState {
+                            snap: check_mem.snapshot(),
+                            machines,
+                            done,
+                            id: u32::MAX,
+                        }));
+                        index.insert(h, discovered.len());
+                        discovered.push((
+                            h,
+                            Pend {
+                                worker: virt,
+                                idx,
+                                parent: st.id,
+                                via: j as u8,
+                                h,
+                            },
+                        ));
+                        extras.push(h);
+                    }
+                }
+                if !extras.is_empty() {
+                    old.extend(spill.probe_old(extras.into_iter())?);
+                }
+            }
+        }
+        discovered.sort_unstable_by_key(|(_, p)| (p.parent, p.via));
 
         let mut next_frontier: Vec<FrontierState<M>> = Vec::new();
         for (h, p) in discovered {
