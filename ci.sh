@@ -18,6 +18,14 @@
 #      suite (reduced vs full verdicts/terminals on every family, all
 #      backends) and the footprint audit (declared footprints must
 #      cover recorded accesses), also in release.
+#   6. real-atomics arena gate: the SimMemory-vs-AtomicMemory
+#      differential suite plus the multi-threaded stress tests in
+#      release — including `arena_smoke`, a few thousand
+#      uniqueness-checked acquire/release ops at 4 threads through the
+#      full NameArena stack (gate → session reuse → padded atomics →
+#      release-ordered stores). Release mode matters here: optimized
+#      code paths plus real thread timing is where a wrong memory
+#      ordering would actually surface.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -39,5 +47,8 @@ cargo test -q --offline --release --test engine_equivalence
 
 echo "== POR soundness subset (differential + footprint audit, release) =="
 cargo test -q --offline --release --test por_equivalence --test footprint_audit
+
+echo "== real-atomics arena gate (differential + stress + smoke, release) =="
+cargo test -q --offline --release --test atomic_backend
 
 echo "ci.sh: all green"

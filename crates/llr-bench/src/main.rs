@@ -18,7 +18,9 @@ mod e5_chain;
 mod e6_fast_vs_s;
 mod e7_hashing;
 mod e10_soak;
+mod e11_arena;
 mod e9_ablation;
+mod histogram;
 
 const ALL: &[(&str, &str, fn())] = &[
     ("e1", "SPLIT: D = 3^(k-1), O(k) accesses (Theorem 2)", e1_split::run),
@@ -30,6 +32,7 @@ const ALL: &[(&str, &str, fn())] = &[
     ("e7", "polynomial hashing: Proposition 8 and covering margins", e7_hashing::run),
     ("e9", "ablations: one-time vs long-lived, chain composition", e9_ablation::run),
     ("e10", "randomized deep-soak verification of large configurations", e10_soak::run),
+    ("e11", "NameArena on real atomics: latency percentiles, throughput, ablations", e11_arena::run),
 ];
 
 fn main() {

@@ -391,7 +391,7 @@ pub mod spec {
     //! *backwards* release order (MA name first, SPLIT name second).
 
     use crate::ma::{MaAcquire, MaRelease, MaShape};
-    use crate::split::{PathEntry, SplitAcquire, SplitRelease, SplitShape};
+    use crate::split::{PathVec, SplitAcquire, SplitRelease, SplitShape};
     use crate::types::{Name, Pid};
     use llr_mc::{CheckStats, Footprint, ModelChecker, Violation, World};
     use llr_mem::{Layout, Memory, Word};
@@ -422,7 +422,7 @@ pub mod spec {
         /// Stage 2: the MA walk, with the SPLIT outcome carried along for
         /// the eventual backwards release.
         Ma {
-            split_path: Vec<PathEntry>,
+            split_path: PathVec,
             intermediate: Pid,
             m: MaAcquire,
         },
@@ -432,7 +432,7 @@ pub mod spec {
     /// the breadcrumbs each stage's release needs.
     #[derive(Clone, Debug)]
     pub struct ChainToken {
-        split_path: Vec<PathEntry>,
+        split_path: PathVec,
         intermediate: Pid,
         cell: (usize, usize),
         name: Name,
@@ -447,7 +447,7 @@ pub mod spec {
     pub enum ChainRelease {
         /// The pending MA release write, with the SPLIT path stashed.
         Ma {
-            split_path: Vec<PathEntry>,
+            split_path: PathVec,
             m: MaRelease,
         },
         /// Stage 1 unwinding.
@@ -575,7 +575,7 @@ pub mod spec {
             match r {
                 ChainRelease::Ma { split_path, m } => {
                     m.future_footprint(fp);
-                    for e in split_path {
+                    for e in split_path.as_slice() {
                         let regs = self.shape.split.regs(e.node);
                         fp.future_read(regs.last);
                         fp.future_write(regs.a1);
@@ -607,7 +607,7 @@ pub mod spec {
                     out.push(1);
                     out.push(*intermediate);
                     m.key(out);
-                    for e in split_path {
+                    for e in split_path.as_slice() {
                         out.push(e.advice.word());
                         out.push(u64::from(e.adv2));
                     }
@@ -620,7 +620,7 @@ pub mod spec {
             out.push(t.name);
             out.push(t.cell.0 as u64);
             out.push(t.cell.1 as u64);
-            for e in &t.split_path {
+            for e in t.split_path.as_slice() {
                 out.push(e.advice.word());
                 out.push(u64::from(e.adv2));
             }

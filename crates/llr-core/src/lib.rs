@@ -43,6 +43,7 @@
 //! h.release();
 //! ```
 
+pub mod arena;
 pub mod chain;
 pub mod filter;
 pub mod harness;
@@ -57,6 +58,7 @@ pub mod tournament;
 pub mod traits;
 pub mod types;
 
+pub use arena::{ArenaClient, NameArena};
 pub use session::{Handle, ProtocolCore, Session, SessionPhase};
 pub use traits::{Renaming, RenamingHandle};
 pub use types::{Direction, Name, Pid};

@@ -388,7 +388,9 @@ impl MaRelease {
     pub fn step(&mut self, mem: &dyn Memory) -> bool {
         if !self.done {
             let block = self.shape.block(self.cell.0, self.cell.1);
-            mem.write(block.y.at(self.pid as usize), FALSE);
+            // The release's only access: Release ordering suffices (see
+            // llr-mem's AtomicMemory docs).
+            mem.write_rel(block.y.at(self.pid as usize), FALSE);
             self.done = true;
         }
         true

@@ -196,8 +196,12 @@ pub fn check(regs: &MeRegs, side: Side, own: Word, mem: &dyn Memory) -> bool {
 }
 
 /// `Release(ME, β)`: one shared write of `nil`.
+///
+/// The release's only access: Release ordering suffices (see llr-mem's
+/// `AtomicMemory` docs). This covers every FILTER and tournament release,
+/// both of which funnel through here.
 pub fn release(regs: &MeRegs, side: Side, mem: &dyn Memory) {
-    mem.write(regs.r[side], NIL);
+    mem.write_rel(regs.r[side], NIL);
 }
 
 /// Declares [`check`]'s single shared read into `fp`.

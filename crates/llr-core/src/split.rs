@@ -40,7 +40,8 @@ use crate::traits::{Renaming, RenamingHandle};
 use crate::types::enc::Adv;
 use crate::types::{Direction, Name, Pid};
 use llr_mc::Footprint;
-use llr_mem::{AtomicMemory, Counting, Layout, Memory, Word};
+use llr_mem::{AtomicMemory, Counting, Layout, MemPolicy, Memory, Word};
+use std::fmt;
 use std::sync::Arc;
 
 /// Largest supported concurrency bound: the tree has `(3^(k-1) - 1)/2`
@@ -123,6 +124,91 @@ pub struct PathEntry {
     pub adv2: bool,
 }
 
+impl Default for PathEntry {
+    fn default() -> Self {
+        Self {
+            node: 0,
+            advice: Adv::Neg,
+            adv2: false,
+        }
+    }
+}
+
+/// An inline, fixed-capacity vector of [`PathEntry`]s.
+///
+/// A SPLIT path has at most `MAX_K - 1` entries (one per tree level), so
+/// the whole path fits in the machine/token itself: steady-state
+/// acquire/release moves paths around by `memcpy`, never the heap. This is
+/// what makes the arena's hot path allocation-free (see
+/// `tests/arena_alloc.rs`).
+#[derive(Clone)]
+pub struct PathVec {
+    len: u8,
+    entries: [PathEntry; MAX_K - 1],
+}
+
+impl PathVec {
+    /// An empty path.
+    pub const fn new() -> Self {
+        Self {
+            len: 0,
+            entries: [PathEntry {
+                node: 0,
+                advice: Adv::Neg,
+                adv2: false,
+            }; MAX_K - 1],
+        }
+    }
+
+    /// Appends an entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the path is already `MAX_K - 1` entries long.
+    pub fn push(&mut self, entry: PathEntry) {
+        self.entries[self.len as usize] = entry;
+        self.len += 1;
+    }
+
+    /// The entries pushed so far.
+    pub fn as_slice(&self) -> &[PathEntry] {
+        &self.entries[..self.len as usize]
+    }
+
+    /// Empties the path.
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+}
+
+impl Default for PathVec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::ops::Deref for PathVec {
+    type Target = [PathEntry];
+
+    fn deref(&self) -> &[PathEntry] {
+        self.as_slice()
+    }
+}
+
+impl fmt::Debug for PathVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl PartialEq for PathVec {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for PathVec {}
+
 /// `GetName` as a step machine: descend the splitter tree, one shared
 /// access per step.
 #[derive(Clone, Debug)]
@@ -132,8 +218,11 @@ pub struct SplitAcquire {
     node: u64,
     depth: usize,
     op: EnterOp,
-    path: Vec<PathEntry>,
-    digits: Vec<usize>,
+    path: PathVec,
+    /// The name accumulated so far: `Σ digit(h)·3^h` over the levels
+    /// descended. Equivalent to (and cheaper than) keeping the digit
+    /// string — given `depth`, the two are in bijection.
+    acc_name: u64,
     name: Option<Name>,
 }
 
@@ -146,8 +235,8 @@ impl SplitAcquire {
             node: 0,
             depth: 0,
             op: EnterOp::new(),
-            path: Vec::new(),
-            digits: Vec::new(),
+            path: PathVec::new(),
+            acc_name: 0,
             name: None,
         }
     }
@@ -161,15 +250,10 @@ impl SplitAcquire {
             return Some(name);
         }
         if self.depth == self.shape.k - 1 {
-            // Reached a (vacuous) leaf: encode the path as the name.
-            let name = self
-                .digits
-                .iter()
-                .enumerate()
-                .map(|(h, &d)| d as u64 * 3u64.pow(h as u32))
-                .sum();
-            self.name = Some(name);
-            return Some(name);
+            // Reached a (vacuous) leaf: the accumulated path encoding is
+            // the name.
+            self.name = Some(self.acc_name);
+            return self.name;
         }
         let regs = self.shape.regs(self.node);
         if let Some(dir) = self.op.step(&regs, self.pid, mem) {
@@ -178,21 +262,15 @@ impl SplitAcquire {
                 advice: self.op.advice(),
                 adv2: self.op.adv2(),
             });
-            self.digits.push(dir.digit());
+            self.acc_name += dir.digit() as u64 * 3u64.pow(self.depth as u32);
             self.node = SplitShape::child(self.node, dir);
             self.depth += 1;
             self.op = EnterOp::new();
             if self.depth == self.shape.k - 1 {
-                // Compute the name now so completion does not cost an
-                // extra scheduled step.
-                let name = self
-                    .digits
-                    .iter()
-                    .enumerate()
-                    .map(|(h, &d)| d as u64 * 3u64.pow(h as u32))
-                    .sum();
-                self.name = Some(name);
-                return Some(name);
+                // Complete now so completion does not cost an extra
+                // scheduled step.
+                self.name = Some(self.acc_name);
+                return self.name;
             }
         }
         None
@@ -208,9 +286,15 @@ impl SplitAcquire {
         &self.path
     }
 
+    /// The splitters entered so far as the inline path vector (cloned by
+    /// `memcpy` into the token — no heap).
+    pub fn path_vec(&self) -> &PathVec {
+        &self.path
+    }
+
     /// Consumes the machine, yielding the acquisition path for the
     /// matching [`SplitRelease`].
-    pub fn into_path(self) -> Vec<PathEntry> {
+    pub fn into_path(self) -> PathVec {
         self.path
     }
 
@@ -230,15 +314,14 @@ impl SplitAcquire {
         out.push(self.node);
         out.push(self.depth as u64);
         self.op.key(out);
-        // digits determine path/name; path entries' advice+adv2 matter for
-        // future releases
-        for e in &self.path {
+        // The accumulated partial name determines the digit string (given
+        // depth, the two are in bijection); path entries' advice+adv2
+        // matter for future releases.
+        for e in self.path.as_slice() {
             out.push(e.advice.word());
             out.push(u64::from(e.adv2));
         }
-        for &d in &self.digits {
-            out.push(d as u64);
-        }
+        out.push(self.acc_name);
     }
 
     /// Short state description for traces.
@@ -253,7 +336,7 @@ impl SplitAcquire {
 pub struct SplitRelease {
     shape: SplitShape,
     pid: Pid,
-    path: Vec<PathEntry>,
+    path: PathVec,
     /// Index of the entry currently being released (runs from the end of
     /// the path down to 0).
     idx: usize,
@@ -262,7 +345,7 @@ pub struct SplitRelease {
 
 impl SplitRelease {
     /// Starts a `ReleaseName` for the splitters recorded in `path`.
-    pub fn new(shape: SplitShape, pid: Pid, path: Vec<PathEntry>) -> Self {
+    pub fn new(shape: SplitShape, pid: Pid, path: PathVec) -> Self {
         let idx = path.len();
         Self {
             shape,
@@ -365,7 +448,7 @@ impl SplitCore {
 #[derive(Clone, Debug)]
 pub struct SplitToken {
     name: Name,
-    path: Vec<PathEntry>,
+    path: PathVec,
 }
 
 impl ProtocolCore for SplitCore {
@@ -386,9 +469,11 @@ impl ProtocolCore for SplitCore {
     }
 
     fn step_acquire(&self, a: &mut SplitAcquire, mem: &dyn Memory) -> Option<SplitToken> {
+        // The path clone is an inline memcpy (PathVec), not a heap
+        // allocation: steady-state acquire stays allocation-free.
         a.step(mem).map(|name| SplitToken {
             name,
-            path: a.path().to_vec(),
+            path: a.path_vec().clone(),
         })
     }
 
@@ -432,7 +517,7 @@ impl ProtocolCore for SplitCore {
         out.push(t.name);
         // The path's advice locals are future shared writes of the
         // eventual release.
-        for e in &t.path {
+        for e in t.path.as_slice() {
             out.push(e.advice.word());
             out.push(u64::from(e.adv2));
         }
@@ -466,8 +551,20 @@ impl Split {
     ///
     /// Panics if `k = 0` or `k > `[`MAX_K`].
     pub fn new(k: usize) -> Self {
+        Self::with_mem_policy(k, MemPolicy::default())
+    }
+
+    /// Creates a SPLIT instance with an explicit [`MemPolicy`] — the hook
+    /// the E11 ablation benchmarks use to compare padded vs flat register
+    /// files and relaxed vs all-`SeqCst` release stores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k = 0` or `k > `[`MAX_K`].
+    pub fn with_mem_policy(k: usize, policy: MemPolicy) -> Self {
         let mut layout = Layout::new();
         let shape = SplitShape::build(k, &mut layout);
+        layout.set_policy(policy);
         let mem = AtomicMemory::new(&layout);
         Self { shape, mem }
     }
@@ -515,7 +612,7 @@ impl Split {
             split: self,
             pid,
             held: None,
-            path: Vec::new(),
+            path: PathVec::new(),
             accesses: 0,
         }
     }
@@ -528,7 +625,7 @@ pub struct NativeSplitHandle<'a> {
     split: &'a Split,
     pid: Pid,
     held: Option<Name>,
-    path: Vec<PathEntry>,
+    path: PathVec,
     accesses: u64,
 }
 
@@ -556,10 +653,11 @@ impl RenamingHandle for NativeSplitHandle<'_> {
         assert!(self.held.is_some(), "release without holding a name");
         self.held = None;
         let mem = Counting::new(&self.split.mem);
-        for entry in std::mem::take(&mut self.path).into_iter().rev() {
+        for entry in self.path.as_slice().iter().rev() {
             let regs = self.split.shape.regs(entry.node);
             crate::splitter::native::release(&regs, self.pid, entry.advice, entry.adv2, &mem);
         }
+        self.path.clear();
         self.accesses += mem.accesses();
     }
 

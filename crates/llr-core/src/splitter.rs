@@ -288,11 +288,13 @@ impl ReleaseOp {
                 }
             }
             ReleasePc::WriteRestore => {
-                mem.write(regs.a1, advice.word());
+                // Final store of the release to this splitter: Release
+                // ordering suffices (see llr-mem's AtomicMemory docs).
+                mem.write_rel(regs.a1, advice.word());
                 true
             }
             ReleasePc::WriteBot => {
-                mem.write(regs.a1, enc::BOT);
+                mem.write_rel(regs.a1, enc::BOT);
                 true
             }
         }
@@ -360,9 +362,9 @@ pub mod native {
     /// `Release(B, p)` in one call.
     pub fn release<M: Memory>(regs: &SplitterRegs, pid: Pid, advice: Adv, adv2: bool, mem: &M) {
         if mem.read(regs.last) == pid {
-            mem.write(regs.a1, advice.word());
+            mem.write_rel(regs.a1, advice.word());
         } else if !adv2 {
-            mem.write(regs.a1, enc::BOT);
+            mem.write_rel(regs.a1, enc::BOT);
         }
     }
 }

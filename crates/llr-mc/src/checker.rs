@@ -325,6 +325,20 @@ impl<M: StepMachine> ModelChecker<M> {
         }
     }
 
+    /// The register-file layout the checker's runs start from.
+    ///
+    /// Exposed so harnesses can replay the same configuration on other
+    /// [`Memory`](llr_mem::Memory) backends (e.g. the differential
+    /// SimMemory-vs-AtomicMemory tests).
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// The machines in their initial states.
+    pub fn machines(&self) -> &[M] {
+        &self.machines
+    }
+
     /// Sets the maximum number of distinct states to explore before giving
     /// up with [`CheckError::StateLimit`] (default: 20 million).
     pub fn max_states(mut self, n: usize) -> Self {

@@ -76,6 +76,12 @@ impl<M: Memory + ?Sized> Memory for Counting<'_, M> {
         self.inner.write(loc, val)
     }
 
+    #[inline]
+    fn write_rel(&self, loc: Loc, val: Word) {
+        self.writes.set(self.writes.get() + 1);
+        self.inner.write_rel(loc, val)
+    }
+
     fn len(&self) -> usize {
         self.inner.len()
     }
@@ -100,6 +106,17 @@ mod tests {
         assert_eq!(v2.accesses(), 2);
         assert_eq!(v1.writes(), 1);
         assert_eq!(v2.reads(), 2);
+    }
+
+    #[test]
+    fn write_rel_counts_as_write() {
+        let mut l = Layout::new();
+        let x = l.scalar("X", 0);
+        let mem = AtomicMemory::new(&l);
+        let v = Counting::new(&mem);
+        v.write_rel(x, 3);
+        assert_eq!(v.writes(), 1);
+        assert_eq!(mem.read(x), 3);
     }
 
     #[test]

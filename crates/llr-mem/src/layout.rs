@@ -79,6 +79,50 @@ struct Region {
     len: u32,
 }
 
+/// How an [`crate::AtomicMemory`] built from a [`Layout`] should realize the
+/// register file on real hardware.
+///
+/// The policy travels with the layout so that protocol constructors (which
+/// build their own layouts) get the optimized defaults without signature
+/// changes, while benchmarks can flip individual knobs for ablations.
+/// [`crate::SimMemory`] ignores the policy entirely — it models the paper's
+/// abstract registers, where neither padding nor ordering exists.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemPolicy {
+    /// Give every register its own cache line ([`crate::CachePadded`]).
+    ///
+    /// Avoids false sharing between neighbouring registers at the cost of
+    /// 8–16× more memory. On by default.
+    pub padded: bool,
+    /// Use `Release` ordering for [`crate::Memory::write_rel`] stores.
+    ///
+    /// When `false`, `write_rel` degrades to a plain `SeqCst` write — the
+    /// "all-SeqCst" ablation baseline. On by default; see the ordering
+    /// policy notes on [`crate::AtomicMemory`] for why this is sound.
+    pub relaxed_release: bool,
+}
+
+impl Default for MemPolicy {
+    fn default() -> Self {
+        Self {
+            padded: true,
+            relaxed_release: true,
+        }
+    }
+}
+
+impl MemPolicy {
+    /// The conservative baseline: flat (unpadded) cells, every store
+    /// `SeqCst`. This is exactly the behaviour of
+    /// [`crate::AtomicMemory::with_values`].
+    pub const fn baseline() -> Self {
+        Self {
+            padded: false,
+            relaxed_release: false,
+        }
+    }
+}
+
 /// Builder for a register file: allocates scalars and arrays, records their
 /// names and initial values, and later resolves indices back to names.
 ///
@@ -98,12 +142,25 @@ struct Region {
 pub struct Layout {
     regions: Vec<Region>,
     initial: Vec<Word>,
+    policy: Option<MemPolicy>,
 }
 
 impl Layout {
     /// Creates an empty layout.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The memory policy an [`crate::AtomicMemory`] built from this layout
+    /// should use. Defaults to [`MemPolicy::default`] (padded, relaxed
+    /// releases) unless overridden with [`Layout::set_policy`].
+    pub fn policy(&self) -> MemPolicy {
+        self.policy.unwrap_or_default()
+    }
+
+    /// Overrides the memory policy for ablation experiments.
+    pub fn set_policy(&mut self, policy: MemPolicy) {
+        self.policy = Some(policy);
     }
 
     /// Allocates one register named `name` with initial value `init`.
@@ -312,5 +369,16 @@ mod more_tests {
     fn dump_of_empty_layout() {
         let l = Layout::new();
         assert_eq!(l.dump(&[]), "");
+    }
+
+    #[test]
+    fn policy_defaults_and_overrides() {
+        let mut l = Layout::new();
+        assert_eq!(l.policy(), MemPolicy::default());
+        assert!(l.policy().padded);
+        assert!(l.policy().relaxed_release);
+        l.set_policy(MemPolicy::baseline());
+        assert!(!l.policy().padded);
+        assert!(!l.policy().relaxed_release);
     }
 }

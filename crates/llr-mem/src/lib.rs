@@ -38,14 +38,18 @@
 //! assert_eq!(mem.accesses(), 3);
 //! ```
 
+#![warn(missing_docs)]
+
 mod atomic;
 mod counting;
 mod layout;
+mod padded;
 mod sim;
 
 pub use atomic::AtomicMemory;
 pub use counting::Counting;
-pub use layout::{ArrayLoc, Layout, Loc};
+pub use layout::{ArrayLoc, Layout, Loc, MemPolicy};
+pub use padded::CachePadded;
 pub use sim::SimMemory;
 
 /// The value type stored in every shared register.
@@ -75,6 +79,26 @@ pub trait Memory {
     ///
     /// Panics if `loc` is out of bounds for this register file.
     fn write(&self, loc: Loc, val: Word);
+
+    /// Atomically writes `val` to the register at `loc`, with (at least)
+    /// release ordering.
+    ///
+    /// Protocols call this for **release-path stores only**: the final
+    /// store(s) an operation makes to the object it is releasing (the
+    /// splitter's advice restore, the grid's `Y[i] := false`, the ME
+    /// block's `nil` write). On [`AtomicMemory`] this may use `Release`
+    /// instead of `SeqCst` ordering — see that type's module docs for the
+    /// register-class policy and its justification. The default simply
+    /// forwards to [`Memory::write`], so order-exploring backends like
+    /// [`SimMemory`] observe no difference: orderings don't exist in the
+    /// paper's abstract register model, only in its hardware realization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loc` is out of bounds for this register file.
+    fn write_rel(&self, loc: Loc, val: Word) {
+        self.write(loc, val)
+    }
 
     /// Number of registers in the file.
     fn len(&self) -> usize;
