@@ -26,6 +26,13 @@
 #      release-ordered stores). Release mode matters here: optimized
 #      code paths plus real thread timing is where a wrong memory
 #      ordering would actually surface.
+#   7. crash/churn gate: the fault-injection sweeps (freeze and
+#      crash–restart at every stall point, all eight protocol cores)
+#      and the arena churn battery (armed clients panicking mid-acquire
+#      under a 4-permit gate, 100 seeded rounds, zero leaked permits).
+#      Also release: the churn rounds are real oversubscribed threads,
+#      and the RAII permit-return path only earns trust under optimized
+#      unwinding.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -50,5 +57,8 @@ cargo test -q --offline --release --test por_equivalence --test footprint_audit
 
 echo "== real-atomics arena gate (differential + stress + smoke, release) =="
 cargo test -q --offline --release --test atomic_backend
+
+echo "== crash/churn gate (fault injection + arena churn, release) =="
+cargo test -q --offline --release --test crash_tolerance --test arena_churn
 
 echo "ci.sh: all green"

@@ -97,6 +97,24 @@ pub fn banner(title: &str) {
     println!("\n━━━ {title} ━━━");
 }
 
+/// Host parallelism plus the shared degradation contract for the
+/// contended drivers (E10, E11, E12): on a 1-core host every "contended"
+/// row is actually scheduler-serialized, so we warn loudly on stderr and
+/// return `degraded = true` for the CSV column that lets consumers
+/// filter those rows instead of mistaking them for real contention.
+pub fn host_parallelism(experiment: &str) -> (usize, bool) {
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let degraded = cores < 2;
+    if degraded {
+        eprintln!(
+            "WARNING [{experiment}]: host reports {cores} core(s) — threads cannot actually \
+             contend, so every row below is scheduler-serialized and marked degraded=yes; \
+             do not compare these figures against multi-core runs"
+        );
+    }
+    (cores, degraded)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

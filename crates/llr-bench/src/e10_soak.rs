@@ -7,7 +7,7 @@
 //! scale-dependent bug (e.g. an advice chain that only breaks with four
 //! sequential entrants) still has a chance to surface.
 
-use crate::common::{banner, Table};
+use crate::common::{banner, host_parallelism, Table};
 use llr_core::filter::spec as filter_spec;
 use llr_core::filter::FilterShape;
 use llr_core::ma::spec as ma_spec;
@@ -27,14 +27,16 @@ const MAX_STEPS: usize = 400_000;
 
 pub fn run() {
     banner("E10 — randomized deep-soak (seeded schedules, big configs)");
+    let (host_cores, degraded) = host_parallelism("E10");
+    let degraded = if degraded { "yes" } else { "no" };
     let mut t = Table::new(
         "e10_soak",
-        &["subject", "configuration", "walks", "transitions", "verdict"],
+        &["subject", "configuration", "walks", "transitions", "verdict", "host_cores", "degraded"],
     );
     let mut add = |subject: &str, config: &str, r: Result<CheckStats, Box<Violation>>| match r {
-        Ok(s) => t.row(&[&subject, &config, &WALKS, &s.transitions, &"PASSED"]),
+        Ok(s) => t.row(&[&subject, &config, &WALKS, &s.transitions, &"PASSED", &host_cores, &degraded]),
         Err(v) => {
-            t.row(&[&subject, &config, &WALKS, &"-", &"VIOLATED"]);
+            t.row(&[&subject, &config, &WALKS, &"-", &"VIOLATED", &host_cores, &degraded]);
             eprintln!("VIOLATION in {subject} ({config}):\n{v}");
         }
     };

@@ -21,7 +21,7 @@
 //! `host_cores` column records `available_parallelism` so a single-core
 //! container's figures are not mistaken for a many-core machine's.
 
-use crate::common::{banner, Table};
+use crate::common::{banner, host_parallelism, Table};
 use crate::histogram::LogHistogram;
 use llr_core::arena::NameArena;
 use llr_core::chain::Chain;
@@ -128,6 +128,7 @@ fn emit(
     threads: usize,
     stats: &RunStats,
     host_cores: usize,
+    degraded: bool,
 ) {
     let ops_per_sec = format!("{:.0}", stats.ops_per_sec());
     for (op, hist) in [("acquire", &stats.acquire), ("release", &stats.release)] {
@@ -145,13 +146,14 @@ fn emit(
             &p999,
             &ops_per_sec,
             &host_cores,
+            &if degraded { "yes" } else { "no" },
         ]);
     }
 }
 
 /// Runs E11 and writes `results/e11_arena.csv`.
 pub fn run() {
-    let host_cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let (host_cores, degraded) = host_parallelism("E11");
     let mut table = Table::new(
         "e11_arena",
         &[
@@ -167,6 +169,7 @@ pub fn run() {
             "p999_ns",
             "ops_per_sec",
             "host_cores",
+            "degraded",
         ],
     );
 
@@ -174,7 +177,7 @@ pub fn run() {
     for k in [2usize, 4, 8] {
         let arena = NameArena::new(Split::new(k));
         let stats = measure(&arena, &sparse_pids(k as u64), 2_000);
-        emit(&mut table, "latency", "split", "default", k, k, &stats, host_cores);
+        emit(&mut table, "latency", "split", "default", k, k, &stats, host_cores, degraded);
     }
     {
         let k = 4;
@@ -182,27 +185,27 @@ pub fn run() {
         let pids: Vec<u64> = (0..k as u64).map(|i| i * 11 + 1).collect();
         let arena = NameArena::new(Filter::new(params, &pids).expect("filter"));
         let stats = measure(&arena, &pids, 1_000);
-        emit(&mut table, "latency", "filter_2k4", "default", k, k, &stats, host_cores);
+        emit(&mut table, "latency", "filter_2k4", "default", k, k, &stats, host_cores, degraded);
     }
     {
         let k = 4;
         let arena = NameArena::new(MaGrid::new(k, 1024));
         let pids: Vec<u64> = (0..k as u64).map(|i| i * 17 + 1).collect();
         let stats = measure(&arena, &pids, 2_000);
-        emit(&mut table, "latency", "ma_s1024", "default", k, k, &stats, host_cores);
+        emit(&mut table, "latency", "ma_s1024", "default", k, k, &stats, host_cores, degraded);
     }
     {
         let k = 3;
         let arena = NameArena::new(Chain::theorem11(k).expect("theorem-11 chain"));
         let stats = measure(&arena, &sparse_pids(k as u64), 500);
-        emit(&mut table, "latency", "chain_t11", "default", k, k, &stats, host_cores);
+        emit(&mut table, "latency", "chain_t11", "default", k, k, &stats, host_cores, degraded);
     }
 
     banner("threads: SPLIT k = 4 from undersubscribed to oversubscribed");
     for threads in [1usize, 2, 4, 8, 16] {
         let arena = NameArena::new(Split::new(4));
         let stats = measure(&arena, &sparse_pids(threads as u64), 1_000);
-        emit(&mut table, "threads", "split", "default", 4, threads, &stats, host_cores);
+        emit(&mut table, "threads", "split", "default", 4, threads, &stats, host_cores, degraded);
     }
 
     banner("ablation: SPLIT k = 4, 4 threads, hot-path optimizations off");
@@ -218,7 +221,7 @@ pub fn run() {
     for (variant, policy) in variants {
         let arena = NameArena::new(Split::with_mem_policy(4, policy));
         let stats = measure(&arena, &sparse_pids(4), 2_000);
-        emit(&mut table, "ablation", "split", variant, 4, 4, &stats, host_cores);
+        emit(&mut table, "ablation", "split", variant, 4, 4, &stats, host_cores, degraded);
     }
 
     table.finish();

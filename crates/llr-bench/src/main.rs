@@ -19,6 +19,7 @@ mod e6_fast_vs_s;
 mod e7_hashing;
 mod e10_soak;
 mod e11_arena;
+mod e12_churn;
 mod e9_ablation;
 mod histogram;
 
@@ -33,6 +34,7 @@ const ALL: &[(&str, &str, fn())] = &[
     ("e9", "ablations: one-time vs long-lived, chain composition", e9_ablation::run),
     ("e10", "randomized deep-soak verification of large configurations", e10_soak::run),
     ("e11", "NameArena on real atomics: latency percentiles, throughput, ablations", e11_arena::run),
+    ("e12", "crash–restart churn: fault-budget checking + arena thread churn", e12_churn::run),
 ];
 
 fn main() {

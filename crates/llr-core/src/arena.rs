@@ -19,6 +19,13 @@
 //! burn CPU that the `k` admitted ones need — on the single-core benchmark
 //! host this matters more than the spin.
 //!
+//! The gate is also **churn-safe**: admission travels in an RAII permit
+//! guard and the park mutex recovers from poison, so a client thread that
+//! panics or dies at any point of its session returns its slot and never
+//! wedges a parked waiter (`tests/arena_churn.rs` hammers this). See
+//! [`NameArena::with_permits`] for the capacity headroom a deployment
+//! needs when clients may die while *holding* a name.
+//!
 //! Steady-state `acquire`/`release` through an arena over SPLIT or the
 //! Moir–Anderson grid performs **no heap allocation** (verified by
 //! `tests/arena_alloc.rs`): the per-thread [`ArenaClient`] reuses its
@@ -56,7 +63,7 @@
 use crate::traits::{Renaming, RenamingHandle};
 use crate::types::{Name, Pid};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, PoisonError};
 
 /// A counting admission gate: `k` permits, bounded spin then park.
 ///
@@ -127,10 +134,16 @@ impl Gate {
         // permits (inside try_enter). The exiter does the mirror image
         // (write permits, read waiters), all SeqCst — so if the exiter
         // missed our waiter count, we cannot have missed its permit.
+        //
+        // Poison is recovered, not propagated: the mutex guards no data
+        // (every gate invariant lives in the `permits`/`waiters`
+        // atomics), so a lock poisoned by some client's panic is still a
+        // perfectly good park/notify rendezvous — and under churn,
+        // surviving clients must keep working after a peer dies.
         self.waiters.fetch_add(1, Ordering::SeqCst);
-        let mut guard = self.lock.lock().unwrap();
+        let mut guard = self.lock.lock().unwrap_or_else(PoisonError::into_inner);
         while !self.try_enter() {
-            guard = self.cv.wait(guard).unwrap();
+            guard = self.cv.wait(guard).unwrap_or_else(PoisonError::into_inner);
         }
         drop(guard);
         self.waiters.fetch_sub(1, Ordering::SeqCst);
@@ -144,9 +157,35 @@ impl Gate {
             // a waiter's failed try_enter and its cv.wait: we cannot
             // notify while the waiter is deciding, only before (it then
             // re-checks and sees our permit) or after (the notify lands).
-            drop(self.lock.lock().unwrap());
+            // Poison recovered for the same reason as in `enter`.
+            drop(self.lock.lock().unwrap_or_else(PoisonError::into_inner));
             self.cv.notify_one();
         }
+    }
+}
+
+/// An RAII admission permit: taken from the gate on construction,
+/// returned on drop — **including the drop that unwinding performs when
+/// the client panics**. This is the arena's churn-safety mechanism: a
+/// client that dies mid-acquire (or mid-release, or while holding) can
+/// never leak its admission slot, because the permit travels in this
+/// guard across every protocol call.
+#[derive(Debug)]
+struct Permit<'a> {
+    gate: &'a Gate,
+}
+
+impl<'a> Permit<'a> {
+    /// Blocks until a permit is free, then wraps it.
+    fn take(gate: &'a Gate) -> Self {
+        gate.enter();
+        Permit { gate }
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.gate.exit();
     }
 }
 
@@ -164,9 +203,17 @@ impl Gate {
 /// state is reused across operations, so steady-state acquire/release
 /// does not allocate (for SPLIT/MA/chain; see the module docs).
 ///
-/// A panic inside `acquire` (e.g. acquiring twice) leaks the panicking
-/// client's permit; the arena is not designed to survive misuse of the
-/// operation-pair discipline, matching the underlying handles.
+/// Admission is churn-safe: the permit travels in an RAII guard, so a
+/// client that panics inside `acquire` (or `release`), or whose thread
+/// dies and drops the client mid-session, always returns its admission
+/// slot — survivors keep being admitted. What a dead client *cannot*
+/// return is in-protocol state: a client that dies **holding** a name
+/// leaves that name's marks set forever (the session layer's
+/// `crash_robust_uniqueness` reservation). Under expected churn,
+/// provision headroom with [`with_permits`](Self::with_permits): gate at
+/// `k_gate` on a capacity-`k` protocol and up to `k − k_gate` such
+/// deaths are absorbed without the live admitted set ever exceeding the
+/// protocol's remaining capacity.
 #[derive(Debug)]
 pub struct NameArena<R: Renaming> {
     inner: R,
@@ -177,9 +224,23 @@ impl<R: Renaming> NameArena<R> {
     /// Wraps `inner`, gating admission at `inner.concurrency()` permits.
     pub fn new(inner: R) -> Self {
         let k = inner.concurrency();
+        Self::with_permits(inner, k)
+    }
+
+    /// Wraps `inner`, gating admission at `permits ≤ inner.concurrency()`
+    /// — crash headroom for churn-prone deployments: each client that
+    /// dies while holding a name permanently occupies one unit of the
+    /// protocol's capacity, so a gate of `k − f` permits keeps the
+    /// protocol inside its concurrency bound through `f` such deaths.
+    pub fn with_permits(inner: R, permits: usize) -> Self {
+        let k = inner.concurrency();
+        assert!(
+            (1..=k).contains(&permits),
+            "gate permits ({permits}) must be in 1..=concurrency ({k})"
+        );
         Self {
             inner,
-            gate: Gate::new(k),
+            gate: Gate::new(permits),
         }
     }
 
@@ -188,8 +249,16 @@ impl<R: Renaming> NameArena<R> {
     pub fn client(&self, pid: Pid) -> ArenaClient<'_, R> {
         ArenaClient {
             gate: &self.gate,
+            permit: None,
             handle: self.inner.handle(pid),
         }
+    }
+
+    /// Free admission permits right now. Exact only at quiescence (no
+    /// client mid-operation); the churn tests use it to assert that dead
+    /// clients leaked nothing.
+    pub fn free_permits(&self) -> usize {
+        self.gate.permits.load(Ordering::SeqCst) as usize
     }
 
     /// The wrapped protocol object.
@@ -228,21 +297,39 @@ impl<R: Renaming> Renaming for NameArena<R> {
 /// — a client *holding* a name still occupies one of the `k` slots, which
 /// is exactly the paper's definition of a concurrently participating
 /// process.
+///
+/// The permit lives in an RAII guard: if the protocol panics under the
+/// client — or the client is dropped mid-session by a dying thread — the
+/// guard's drop returns the slot to the gate, so churn never starves the
+/// survivors of admission.
 #[derive(Debug)]
 pub struct ArenaClient<'a, R: Renaming + 'a> {
     gate: &'a Gate,
+    /// The admission slot held between `acquire` and `release`. `None`
+    /// while idle; dropping the client mid-session returns it.
+    permit: Option<Permit<'a>>,
     handle: R::Handle<'a>,
 }
 
 impl<R: Renaming> RenamingHandle for ArenaClient<'_, R> {
     fn acquire(&mut self) -> Name {
-        self.gate.enter();
-        self.handle.acquire()
+        // The permit is a local until the protocol call returns: a panic
+        // inside `handle.acquire()` unwinds through it and the gate gets
+        // its slot back.
+        let permit = Permit::take(self.gate);
+        let name = self.handle.acquire();
+        self.permit = Some(permit);
+        name
     }
 
     fn release(&mut self) {
+        // Move the permit into a local first: whether the release
+        // completes or panics, the slot goes back to the gate — but only
+        // *after* the protocol work, since a releasing client still
+        // occupies its slot.
+        let permit = self.permit.take();
         self.handle.release();
-        self.gate.exit();
+        drop(permit);
     }
 
     fn pid(&self) -> Pid {
@@ -346,6 +433,63 @@ mod tests {
             !violated.load(Ordering::SeqCst),
             "more than k clients inside the protocol"
         );
+    }
+
+    #[test]
+    fn with_permits_gates_below_protocol_capacity() {
+        let arena = NameArena::with_permits(Split::new(4), 2);
+        assert_eq!(arena.concurrency(), 4, "protocol capacity is unchanged");
+        assert_eq!(arena.free_permits(), 2, "but admission is gated at 2");
+        let mut a = arena.client(1);
+        let mut b = arena.client(2);
+        a.acquire();
+        b.acquire();
+        assert_eq!(arena.free_permits(), 0);
+        assert!(!arena.gate.try_enter(), "third admission must wait");
+        a.release();
+        b.release();
+        assert_eq!(arena.free_permits(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in 1..=concurrency")]
+    fn with_permits_rejects_oversized_gates() {
+        let _ = NameArena::with_permits(Split::new(2), 3);
+    }
+
+    #[test]
+    fn panicking_acquire_returns_its_permit() {
+        let arena = NameArena::new(Split::new(2));
+        let mut c = arena.client(7);
+        c.acquire();
+        assert_eq!(arena.free_permits(), 1);
+        // Misuse the handle: a second acquire while holding panics inside
+        // the protocol handle — *after* the gate admitted us. The RAII
+        // guard must hand the second permit straight back.
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| c.acquire()));
+        assert!(r.is_err(), "double acquire must panic");
+        assert_eq!(
+            arena.free_permits(),
+            1,
+            "the panicking acquire leaked its permit"
+        );
+        // The survivor's own session is untouched.
+        c.release();
+        assert_eq!(arena.free_permits(), 2);
+    }
+
+    #[test]
+    fn dropping_a_holding_client_returns_the_permit() {
+        let arena = NameArena::new(Split::new(2));
+        {
+            let mut c = arena.client(3);
+            c.acquire();
+            assert_eq!(arena.free_permits(), 1);
+            // `c` is dropped while holding — the thread-death analogue.
+            // Its name's marks stay in the protocol; the admission slot
+            // must not.
+        }
+        assert_eq!(arena.free_permits(), 2);
     }
 
     #[test]

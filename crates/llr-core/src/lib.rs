@@ -45,6 +45,7 @@
 
 pub mod arena;
 pub mod chain;
+pub mod chaos;
 pub mod filter;
 pub mod harness;
 pub mod ma;
@@ -59,6 +60,8 @@ pub mod traits;
 pub mod types;
 
 pub use arena::{ArenaClient, NameArena};
-pub use session::{Handle, ProtocolCore, Session, SessionPhase};
+pub use session::{
+    crash_robust_uniqueness, Fault, Handle, ProtocolCore, Session, SessionPhase,
+};
 pub use traits::{Renaming, RenamingHandle};
 pub use types::{Direction, Name, Pid};

@@ -33,6 +33,26 @@
 //! The optional [`prologue`] hook inserts work between acquire completion
 //! and Holding (FILTER's eager-loser release is the one user).
 //!
+//! # The crash–restart fault model
+//!
+//! Every session machine is fault-capable: [`Session::inject`] tears the
+//! process down at its current point — mid-acquire, holding, mid-release —
+//! leaving its abandoned registers **exactly as written** (torn state is
+//! the point of the model). A [`Fault::Freeze`] is the paper's adversary
+//! (the process stops forever); a [`Fault::CrashRestart`] additionally
+//! brings up a replacement with a *fresh* process id drawn from the
+//! session's [spare cores](Session::with_spares), restarting the full
+//! session count. A name lost by crashing while **Holding** is recorded
+//! in [`Session::leaked`]: its protocol marks are complete, so the name
+//! stays reserved against every later acquire —
+//! [`crash_robust_uniqueness`] checks exactly that. Names lost in other
+//! phases left only partial marks, so no reservation is claimed for them.
+//!
+//! Under the checker, crashes arrive through [`StepMachine::crash_restart`]
+//! whenever a fault budget is armed (`ModelChecker::faults`); on real
+//! threads, the `NameArena` admission gate recovers the crashed client's
+//! permit via its RAII guard (see `crate::arena`).
+//!
 //! [`Token`]: ProtocolCore::Token
 //! [`LAZY_START`]: ProtocolCore::LAZY_START
 //! [`RELEASES`]: ProtocolCore::RELEASES
@@ -179,6 +199,19 @@ pub trait ProtocolCore: Clone + Debug + Send + Sync {
     fn describe_release(&self, r: &Self::Release) -> String;
 }
 
+/// A fault injected into a [`Session`] via [`Session::inject`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// The process stops forever at its current point — the paper's
+    /// wait-freedom adversary. The machine becomes
+    /// [`SessionPhase::Crashed`] and is never scheduled again.
+    Freeze,
+    /// The process crashes and a fresh incarnation with a **new** process
+    /// id takes over, drawn from the [spares](Session::with_spares) pool.
+    /// With no spare left this degrades to [`Fault::Freeze`].
+    CrashRestart,
+}
+
 /// Where a [`Session`] is in its current acquire/release cycle.
 #[derive(Clone, Debug)]
 pub enum SessionPhase<P: ProtocolCore> {
@@ -197,6 +230,9 @@ pub enum SessionPhase<P: ProtocolCore> {
     Holding(P::Token),
     /// ReleaseName in progress.
     Releasing(P::Release),
+    /// The process crashed with no replacement: frozen forever, its
+    /// abandoned registers left exactly as written.
+    Crashed,
 }
 
 /// A process running `sessions` repeated acquire/release cycles of
@@ -206,7 +242,17 @@ pub enum SessionPhase<P: ProtocolCore> {
 pub struct Session<P: ProtocolCore> {
     core: P,
     sessions_left: u8,
+    /// The configured cycle count, restored on every restart.
+    sessions_total: u8,
     phase: SessionPhase<P>,
+    /// Replacement cores (fresh pids) consumed front-first by
+    /// [`Fault::CrashRestart`].
+    spares: Vec<P>,
+    /// How many times this slot has crash–restarted.
+    incarnation: u32,
+    /// Names lost by crashing while Holding — their marks are complete,
+    /// so each stays reserved against every later acquire.
+    leaked: Vec<Name>,
 }
 
 impl<P: ProtocolCore> Session<P> {
@@ -218,8 +264,21 @@ impl<P: ProtocolCore> Session<P> {
         Self {
             core,
             sessions_left: sessions,
+            sessions_total: sessions,
             phase: SessionPhase::Idle,
+            spares: Vec::new(),
+            incarnation: 0,
+            leaked: Vec::new(),
         }
+    }
+
+    /// Equips the session with replacement cores for
+    /// [`Fault::CrashRestart`], consumed front-first. Each spare must
+    /// share the original core's shape but carry a fresh process id —
+    /// a restarted process never reuses the crashed incarnation's id.
+    pub fn with_spares(mut self, spares: Vec<P>) -> Self {
+        self.spares = spares;
+        self
     }
 
     /// The protocol core (shape + pid) this session runs.
@@ -256,6 +315,56 @@ impl<P: ProtocolCore> Session<P> {
         match &self.phase {
             SessionPhase::Acquiring(a) => Some(a),
             _ => None,
+        }
+    }
+
+    /// How many times this slot has crash–restarted (0 = the original
+    /// incarnation is still running).
+    pub fn incarnation(&self) -> u32 {
+        self.incarnation
+    }
+
+    /// Names lost by crashing while Holding, oldest first. Each was
+    /// fully marked in shared memory when its holder died, so the
+    /// protocol keeps it reserved forever ([`crash_robust_uniqueness`]).
+    pub fn leaked(&self) -> &[Name] {
+        &self.leaked
+    }
+
+    /// `true` iff the process is frozen forever ([`SessionPhase::Crashed`]).
+    pub fn is_crashed(&self) -> bool {
+        matches!(self.phase, SessionPhase::Crashed)
+    }
+
+    /// Tears the process down at its current point, leaving its abandoned
+    /// registers exactly as written.
+    ///
+    /// A name held at the moment of the crash is recorded in
+    /// [`leaked`](Self::leaked) (its marks are complete — the name stays
+    /// reserved); names mid-acquire or mid-release left partial marks and
+    /// are not claimed. [`Fault::CrashRestart`] consumes the next spare
+    /// core and restarts the full session count under the fresh id,
+    /// returning [`MachineStatus::Running`]; [`Fault::Freeze`] — or a
+    /// restart with no spare left — freezes the slot forever and returns
+    /// [`MachineStatus::Done`].
+    pub fn inject(&mut self, fault: Fault) -> MachineStatus {
+        if let SessionPhase::Holding(t) = &self.phase {
+            if let Some(name) = self.core.token_name(t) {
+                self.leaked.push(name);
+            }
+        }
+        match fault {
+            Fault::CrashRestart if !self.spares.is_empty() => {
+                self.core = self.spares.remove(0);
+                self.incarnation += 1;
+                self.sessions_left = self.sessions_total;
+                self.phase = SessionPhase::Idle;
+                MachineStatus::Running
+            }
+            Fault::CrashRestart | Fault::Freeze => {
+                self.phase = SessionPhase::Crashed;
+                MachineStatus::Done
+            }
         }
     }
 
@@ -332,11 +441,22 @@ impl<P: ProtocolCore> StepMachine for Session<P> {
                     MachineStatus::Running
                 }
             }
+            // Crashed machines report Done at injection time and are
+            // never scheduled again; stepping one is a harness bug, but
+            // staying frozen is the only faithful answer.
+            SessionPhase::Crashed => MachineStatus::Done,
         }
     }
 
     fn key(&self, out: &mut Vec<Word>) {
         out.push(self.sessions_left as u64);
+        // Fault history is live state: the incarnation determines which
+        // spare cores remain, and each leaked name constrains every
+        // future acquire. (Both are constant zero in fault-free runs, so
+        // the fault-free state space is keyed exactly as before.)
+        out.push(self.incarnation as u64);
+        out.push(self.leaked.len() as u64);
+        out.extend_from_slice(&self.leaked);
         match &self.phase {
             SessionPhase::Idle => out.push(0),
             SessionPhase::Acquiring(a) => {
@@ -355,6 +475,7 @@ impl<P: ProtocolCore> StepMachine for Session<P> {
                 out.push(4);
                 self.core.key_prologue(rel, token, out);
             }
+            SessionPhase::Crashed => out.push(5),
         }
     }
 
@@ -367,9 +488,15 @@ impl<P: ProtocolCore> StepMachine for Session<P> {
             }
             SessionPhase::Holding(t) => self.core.describe_token(t),
             SessionPhase::Releasing(r) => self.core.describe_release(r),
+            SessionPhase::Crashed => "Crashed".into(),
+        };
+        let inc = if self.incarnation > 0 {
+            format!(" [inc {}]", self.incarnation)
+        } else {
+            String::new()
         };
         format!(
-            "{}:{phase} ({} left)",
+            "{}:{phase} ({} left){inc}",
             self.core.describe_actor(),
             self.sessions_left
         )
@@ -431,7 +558,19 @@ impl<P: ProtocolCore> StepMachine for Session<P> {
                     // completing step is invisible.
                 }
             }
+            // A crashed machine never touches shared memory again; the
+            // empty footprint is exact (it is also done, so the reduction
+            // never considers it).
+            SessionPhase::Crashed => {}
         }
+    }
+
+    fn can_crash(&self) -> bool {
+        true
+    }
+
+    fn crash_restart(&mut self) -> MachineStatus {
+        self.inject(Fault::CrashRestart)
     }
 }
 
@@ -450,6 +589,42 @@ pub fn unique_names_invariant<P: ProtocolCore>(
         }
         if let Some(j) = held.insert(name, i) {
             return Err(format!("machines {j} and {i} concurrently hold name {name}"));
+        }
+    }
+    Ok(())
+}
+
+/// The crash-robust strengthening of [`unique_names_invariant`]: live
+/// holders are pairwise distinct **and** no live holder — nor any other
+/// crash — reuses a name leaked by crashing while Holding.
+///
+/// The reservation claim is deliberately scoped: a process that died
+/// while Holding had written its *complete* mark set, so the protocol
+/// treats the name as taken forever (this is what the fault budget
+/// checks under f ∈ {1, 2} in E12). Crashes mid-acquire or mid-release
+/// left partial marks; those names are not claimed here — their cost
+/// shows up only in the measured name-space degradation curve.
+pub fn crash_robust_uniqueness<P: ProtocolCore>(
+    world: &World<'_, Session<P>>,
+) -> Result<(), String> {
+    let mut claimed: HashMap<Name, String> = HashMap::new();
+    for (i, m) in world.machines.iter().enumerate() {
+        let d = m.core().dest_size();
+        for &name in m.leaked() {
+            if name >= d {
+                return Err(format!("machine {i} leaked out-of-range name {name} (D = {d})"));
+            }
+            if let Some(prev) = claimed.insert(name, format!("machine {i} (leaked)")) {
+                return Err(format!("{prev} and machine {i} (leaked) both claim name {name}"));
+            }
+        }
+        if let Some(name) = m.holding() {
+            if name >= d {
+                return Err(format!("machine {i} holds out-of-range name {name} (D = {d})"));
+            }
+            if let Some(prev) = claimed.insert(name, format!("machine {i}")) {
+                return Err(format!("{prev} and machine {i} both claim name {name}"));
+            }
         }
     }
     Ok(())
@@ -491,6 +666,9 @@ pub struct Handle<'a, P: ProtocolCore> {
     token: Option<P::Token>,
     last_acquire: Option<P::Acquire>,
     accesses: u64,
+    /// Armed fault fuse: the next `acquire` panics after this many
+    /// machine steps (see [`arm_crash`](Self::arm_crash)).
+    fuse: Option<u64>,
 }
 
 impl<'a, P: ProtocolCore> Handle<'a, P> {
@@ -502,7 +680,20 @@ impl<'a, P: ProtocolCore> Handle<'a, P> {
             token: None,
             last_acquire: None,
             accesses: 0,
+            fuse: None,
         }
+    }
+
+    /// Arms a deterministic crash: the next [`RenamingHandle::acquire`]
+    /// panics after `steps` acquire-machine steps, abandoning whatever
+    /// partial marks the machine had written — the threaded counterpart
+    /// of [`Session::inject`], used by the churn tests and the E12
+    /// driver to kill clients mid-protocol at reproducible points.
+    /// `steps = 0` dies before the first shared access. The fuse is
+    /// consumed by the acquire it fires in (or, if the acquire completes
+    /// first, disarmed with it).
+    pub fn arm_crash(&mut self, steps: u64) {
+        self.fuse = Some(steps);
     }
 
     /// The protocol core this handle drives.
@@ -521,15 +712,30 @@ impl<'a, P: ProtocolCore> Handle<'a, P> {
 impl<P: ProtocolCore> RenamingHandle for Handle<'_, P> {
     fn acquire(&mut self) -> Name {
         assert!(self.token.is_none(), "acquire while holding a name");
+        let mut fuse = self.fuse.take();
+        let burn = |fuse: &mut Option<u64>| {
+            if let Some(left) = fuse {
+                if *left == 0 {
+                    panic!("chaos fuse: p{} dies mid-acquire", self.core.pid());
+                }
+                *left -= 1;
+            }
+        };
         let mem = Counting::new(self.mem);
         let mut a = self.core.begin_acquire();
         let mut token = loop {
+            burn(&mut fuse);
             if let Some(t) = self.core.step_acquire(&mut a, &mem) {
                 break t;
             }
         };
         if let Some(mut rel) = self.core.prologue(&mut token) {
-            while !self.core.step_release(&mut rel, &mem) {}
+            loop {
+                burn(&mut fuse);
+                if self.core.step_release(&mut rel, &mem) {
+                    break;
+                }
+            }
         }
         self.accesses += mem.accesses();
         self.last_acquire = Some(a);

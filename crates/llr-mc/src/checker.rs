@@ -11,10 +11,19 @@ use crate::por::AmpleCtx;
 use crate::rng::SplitMix64;
 use crate::spill::SpillConfig;
 use crate::StepMachine;
-use llr_mem::{Layout, SimMemory, Word};
+use llr_mem::{Layout, Loc, Memory as _, SimMemory, Word};
 use std::collections::HashSet;
 use std::fmt;
 use std::path::PathBuf;
+
+/// Schedule-entry encoding of crash transitions: entry `i` with
+/// `i < CRASH_SCHEDULE_BASE` steps machine `i`, entry
+/// `CRASH_SCHEDULE_BASE + i` crashes machine `i`
+/// ([`StepMachine::crash_restart`]) and decrements the fault budget
+/// register installed by [`ModelChecker::faults`]. With the fault model
+/// enabled, worlds are limited to `CRASH_SCHEDULE_BASE` machines so the
+/// two ranges cannot collide.
+pub const CRASH_SCHEDULE_BASE: usize = 128;
 
 /// A read-only view of one global state, handed to invariant closures.
 #[derive(Debug)]
@@ -307,6 +316,7 @@ pub struct ModelChecker<M> {
     workers: usize,
     spill: Option<SpillConfig>,
     por: bool,
+    faults_loc: Option<Loc>,
 }
 
 impl<M: StepMachine> ModelChecker<M> {
@@ -322,6 +332,7 @@ impl<M: StepMachine> ModelChecker<M> {
             workers: 1,
             spill: None,
             por: false,
+            faults_loc: None,
         }
     }
 
@@ -413,6 +424,51 @@ impl<M: StepMachine> ModelChecker<M> {
     /// differentially.
     pub fn por(mut self, on: bool) -> Self {
         self.por = on;
+        self
+    }
+
+    /// Enables the crash–restart fault model with a budget of `f` crashes
+    /// across the whole execution.
+    ///
+    /// While budget remains, every state gets — next to each runnable
+    /// machine's ordinary step — one extra *crash transition* per machine
+    /// reporting [`StepMachine::can_crash`]: the machine's
+    /// [`crash_restart`](StepMachine::crash_restart) runs (local teardown
+    /// only; the shared registers keep the torn values the process had
+    /// written) and the budget drops by one. Exhausted budget restores
+    /// the fault-free transition relation, so `faults(0)` checks exactly
+    /// the original state space.
+    ///
+    /// The budget lives in a hidden shared register (`⚡CRASH_BUDGET`,
+    /// appended to the layout), so it participates in state keys,
+    /// snapshots, and traces for free — two states differing only in
+    /// remaining budget are distinct, which keeps all three engines
+    /// ([`check`](Self::check), [`check_parallel`](Self::check_parallel),
+    /// with or without [`spill_dir`](Self::spill_dir)) sound and mutually
+    /// byte-identical under faults. Crash transitions appear in
+    /// [`Violation::schedule`]s as entries `≥` [`CRASH_SCHEDULE_BASE`]
+    /// and are replayed by [`run_schedule`](Self::run_schedule) /
+    /// [`render_trace`](Self::render_trace).
+    ///
+    /// Composes with partial-order reduction ([`por`](Self::por)): states
+    /// with remaining budget are always fully expanded (a crash is a
+    /// visible transition that commutes with nothing of its own machine),
+    /// and reduction resumes once the budget is spent.
+    ///
+    /// # Panics
+    ///
+    /// The engines assert `machines.len() ≤ CRASH_SCHEDULE_BASE` when the
+    /// fault model is on (the crash encoding shares the schedule-entry
+    /// byte with machine indices).
+    pub fn faults(mut self, f: u64) -> Self {
+        match self.faults_loc {
+            Some(loc) => self.layout.set_initial(loc, f),
+            None => {
+                if f > 0 {
+                    self.faults_loc = Some(self.layout.scalar("⚡CRASH_BUDGET", f));
+                }
+            }
+        }
         self
     }
 
@@ -539,6 +595,12 @@ impl<M: StepMachine> ModelChecker<M> {
         self.por
     }
 
+    /// The hidden fault-budget register, if [`faults`](Self::faults)
+    /// installed one with a nonzero budget.
+    pub(crate) fn crash_loc(&self) -> Option<Loc> {
+        self.faults_loc
+    }
+
     /// Exhaustively explores the state space depth-first, checking
     /// `invariant` in every reachable state (including the initial one).
     ///
@@ -558,6 +620,12 @@ impl<M: StepMachine> ModelChecker<M> {
     where
         F: Fn(&World<'_, M>) -> Result<(), String>,
     {
+        if self.faults_loc.is_some() {
+            assert!(
+                self.machines.len() <= CRASH_SCHEDULE_BASE,
+                "the crash–restart fault model supports at most {CRASH_SCHEDULE_BASE} machines"
+            );
+        }
         let mem = SimMemory::new(&self.layout);
         let mut stats = CheckStats::default();
         let mut visited_exact: HashSet<Box<[u64]>> = HashSet::new();
@@ -610,25 +678,45 @@ impl<M: StepMachine> ModelChecker<M> {
         loop {
             let depth = stack.len();
             let Some(top) = stack.last_mut() else { break };
-            if self.por && !top.decided {
+            let n = top.machines.len();
+            // Remaining crash budget in this state (0 when the fault model
+            // is off). While budget remains, POR is disabled for the state
+            // (a crash transition is visible and does not commute with its
+            // machine's own step) and the cursor extends to a second range
+            // of crash transitions, one per crashable machine.
+            let budget = self.faults_loc.map_or(0, |l| top.mem[l.index()]);
+            if self.por && budget == 0 && !top.decided {
                 top.decided = true;
                 if let Some(a) = ample.choose(&top.machines, &top.done) {
                     top.ample_idx = a;
                     top.ample_pending = true;
                 }
             }
-            // Pick the machine to step: the pending ample singleton, or the
-            // next not-yet-tried, not-done, not-skipped machine.
+            // Pick the transition: the pending ample singleton, or the next
+            // untried cursor position — `0..n` are ordinary steps of
+            // not-done, not-skipped machines; `n..2n` (budget permitting)
+            // are crash transitions of not-done, crashable machines.
+            let limit = if budget > 0 { 2 * n } else { n };
             let ample_attempt = top.ample_pending;
             let i = if ample_attempt {
                 top.ample_pending = false;
                 top.ample_idx
             } else {
                 let mut i = top.next;
-                while i < top.machines.len() && (top.done[i] || i == top.skip) {
+                loop {
+                    if i >= limit {
+                        break;
+                    }
+                    if i < n {
+                        if !top.done[i] && i != top.skip {
+                            break;
+                        }
+                    } else if !top.done[i - n] && top.machines[i - n].can_crash() {
+                        break;
+                    }
                     i += 1;
                 }
-                if i >= top.machines.len() {
+                if i >= limit {
                     let spent = stack.pop().expect("stack is nonempty");
                     pool.push(spent);
                     continue;
@@ -638,11 +726,20 @@ impl<M: StepMachine> ModelChecker<M> {
             };
 
             mem.restore(&top.mem);
-            let mut mi = top.machines[i].clone();
-            let done_i = mi.step(&mem).is_done();
+            // The machine slot acted on and the schedule-entry encoding.
+            let (slot, via) = if i < n { (i, i) } else { (i - n, i - n + CRASH_SCHEDULE_BASE) };
+            let mut mi = top.machines[slot].clone();
+            let done_i = if i < n {
+                mi.step(&mem).is_done()
+            } else {
+                let loc = self.faults_loc.expect("crash cursor range requires a fault budget");
+                mem.write(loc, budget - 1);
+                mi.crash_restart().is_done()
+            };
             stats.transitions += 1;
 
-            let key = kb.build(&mem, &top.machines, &top.done, Some((i, &mi, done_i)), self.symmetry);
+            let key =
+                kb.build(&mem, &top.machines, &top.done, Some((slot, &mi, done_i)), self.symmetry);
             let fresh = if self.hashed_dedup {
                 visited_hash.insert(hash128(key))
             } else if visited_exact.contains(key) {
@@ -681,12 +778,12 @@ impl<M: StepMachine> ModelChecker<M> {
             });
             mem.snapshot_into(&mut frame.mem);
             frame.machines.clone_from(&top.machines);
-            frame.machines[i] = mi;
+            frame.machines[slot] = mi;
             frame.done.clear();
             frame.done.extend_from_slice(&top.done);
-            frame.done[i] = done_i;
+            frame.done[slot] = done_i;
             frame.next = 0;
-            frame.via = i;
+            frame.via = via;
             frame.decided = false;
             frame.ample_pending = false;
             frame.skip = usize::MAX;
@@ -709,7 +806,7 @@ impl<M: StepMachine> ModelChecker<M> {
             if let Err(message) = invariant(&world) {
                 let mut schedule: Vec<usize> =
                     stack.iter().map(|f| f.via).filter(|&v| v != usize::MAX).collect();
-                schedule.push(i);
+                schedule.push(via);
                 let trace = self.render_trace(&schedule);
                 return Err(CheckError::Violation(Box::new(Violation {
                     message,
@@ -725,7 +822,32 @@ impl<M: StepMachine> ModelChecker<M> {
         Ok(stats)
     }
 
-    /// Replays a schedule (a sequence of machine indices) from the initial
+    /// Splits a schedule entry into `(machine index, is_crash)`. Crash
+    /// entries ([`CRASH_SCHEDULE_BASE`]` + i`) only exist when the fault
+    /// model is on; without it every entry is a plain machine index.
+    fn decode_entry(&self, e: usize) -> (usize, bool) {
+        if self.faults_loc.is_some() && e >= CRASH_SCHEDULE_BASE {
+            (e - CRASH_SCHEDULE_BASE, true)
+        } else {
+            (e, false)
+        }
+    }
+
+    /// Applies one decoded schedule entry to a replay world: an ordinary
+    /// step, or a crash (budget decrement + [`StepMachine::crash_restart`]).
+    fn apply_entry(&self, i: usize, crash: bool, mem: &SimMemory, machines: &mut [M]) -> bool {
+        if crash {
+            let loc = self.faults_loc.expect("crash entry without a fault budget");
+            let left = mem.read(loc);
+            mem.write(loc, left.saturating_sub(1));
+            machines[i].crash_restart().is_done()
+        } else {
+            machines[i].step(mem).is_done()
+        }
+    }
+
+    /// Replays a schedule (a sequence of machine indices, with crash
+    /// entries encoded as [`CRASH_SCHEDULE_BASE`]` + i`) from the initial
     /// state, returning the final memory and machines.
     ///
     /// Steps scheduling a machine that is already done are skipped.
@@ -733,11 +855,12 @@ impl<M: StepMachine> ModelChecker<M> {
         let mem = SimMemory::new(&self.layout);
         let mut machines = self.machines.clone();
         let mut done = vec![false; machines.len()];
-        for &i in schedule {
+        for &e in schedule {
+            let (i, crash) = self.decode_entry(e);
             if done[i] {
                 continue;
             }
-            if machines[i].step(&mem).is_done() {
+            if self.apply_entry(i, crash, &mem, &mut machines) {
                 done[i] = true;
             }
         }
@@ -752,13 +875,14 @@ impl<M: StepMachine> ModelChecker<M> {
         let mut done = vec![false; machines.len()];
         let mut out = String::new();
         let _ = writeln!(out, "  init: {}", self.layout.dump(&mem.snapshot()));
-        for (n, &i) in schedule.iter().enumerate() {
+        for (n, &e) in schedule.iter().enumerate() {
+            let (i, crash) = self.decode_entry(e);
             if done[i] {
                 let _ = writeln!(out, "  #{n:<3} p{i}: (already done, skipped)");
                 continue;
             }
             let before = mem.snapshot();
-            if machines[i].step(&mem).is_done() {
+            if self.apply_entry(i, crash, &mem, &mut machines) {
                 done[i] = true;
             }
             let after = mem.snapshot();
@@ -773,7 +897,8 @@ impl<M: StepMachine> ModelChecker<M> {
                 .collect();
             let _ = writeln!(
                 out,
-                "  #{n:<3} p{i}: {} {}",
+                "  #{n:<3} p{i}{}: {} {}",
+                if crash { " CRASH" } else { "" },
                 machines[i].describe(),
                 if delta.is_empty() {
                     String::new()
@@ -902,11 +1027,12 @@ impl<M: StepMachine> ModelChecker<M> {
             let mem = SimMemory::new(&self.layout);
             let mut machines = self.machines.clone();
             let mut done = vec![false; machines.len()];
-            for &i in candidate {
+            for &e in candidate {
+                let (i, crash) = self.decode_entry(e);
                 if done[i] {
                     continue;
                 }
-                if machines[i].step(&mem).is_done() {
+                if self.apply_entry(i, crash, &mem, &mut machines) {
                     done[i] = true;
                 }
                 let world = World {

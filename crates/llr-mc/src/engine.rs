@@ -31,10 +31,13 @@
 //! reports the per-layer peak as
 //! [`CheckStats::peak_resident_bytes`](crate::CheckStats::peak_resident_bytes).
 
-use crate::checker::{hash128, CheckError, CheckStats, KeyBuilder, ModelChecker, Violation, World};
+use crate::checker::{
+    hash128, CheckError, CheckStats, KeyBuilder, ModelChecker, Violation, World,
+    CRASH_SCHEDULE_BASE,
+};
 use crate::por::AmpleCtx;
 use crate::StepMachine;
-use llr_mem::{Memory as _, SimMemory, Word};
+use llr_mem::{Loc, Memory as _, SimMemory, Word};
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::Mutex;
@@ -174,10 +177,17 @@ pub(crate) fn schedule_to(parent: &[(u32, u8)], mut id: u32) -> Vec<usize> {
 /// min-merged into the `pending` shards. Returns the successor's hash and
 /// whether it was found frozen (the spill backend needs the hash for its
 /// join-time proviso re-check; the in-RAM engines use only the flag).
+///
+/// With `crash = Some((loc, left))` the transition is a crash instead of
+/// a step: the fault-budget register `loc` is set to `left` and machine
+/// `i` is torn down via [`StepMachine::crash_restart`]; the recorded
+/// `via` is `i + `[`CRASH_SCHEDULE_BASE`] so replayed schedules
+/// distinguish the two transition kinds.
 #[allow(clippy::too_many_arguments)]
 fn step_state<M, K, L>(
     st: &FrontierState<M>,
     i: usize,
+    crash: Option<(Loc, Word)>,
     wmem: &SimMemory,
     kb: &mut KeyBuilder,
     pending: &[Mutex<HashMap<K, Pend>>],
@@ -194,7 +204,13 @@ where
 {
     wmem.restore(&st.snap);
     let mut mi = st.machines[i].clone();
-    let done_i = mi.step(wmem).is_done();
+    let (done_i, via) = match crash {
+        None => (mi.step(wmem).is_done(), i as u8),
+        Some((loc, left)) => {
+            wmem.write(loc, left);
+            (mi.crash_restart().is_done(), (i + CRASH_SCHEDULE_BASE) as u8)
+        }
+    };
     out.transitions += 1;
     let kbuf = kb.build(wmem, &st.machines, &st.done, Some((i, &mi, done_i)), symmetry);
     let h = hash128(kbuf);
@@ -210,9 +226,9 @@ where
     let hit = {
         let mut g = pending[sh].lock().expect("shard poisoned");
         if let Some(p) = K::find_mut(&mut g, kbuf, h) {
-            if (st.id, i as u8) < (p.parent, p.via) {
+            if (st.id, via) < (p.parent, p.via) {
                 p.parent = st.id;
-                p.via = i as u8;
+                p.via = via;
             }
             Some((p.worker, p.idx))
         } else {
@@ -231,9 +247,9 @@ where
             let snap = wmem.snapshot();
             let mut g = pending[sh].lock().expect("shard poisoned");
             if let Some(p) = K::find_mut(&mut g, kbuf, h) {
-                if (st.id, i as u8) < (p.parent, p.via) {
+                if (st.id, via) < (p.parent, p.via) {
                     p.parent = st.id;
-                    p.via = i as u8;
+                    p.via = via;
                 }
                 (p.worker, p.idx)
             } else {
@@ -244,7 +260,7 @@ where
                         worker: w as u32,
                         idx,
                         parent: st.id,
-                        via: i as u8,
+                        via,
                         h,
                     },
                 );
@@ -285,6 +301,14 @@ where
 /// test over its in-RAM delta); unknown successors are materialized and
 /// min-merged into the `pending` shards.
 ///
+/// With `crash_loc = Some(loc)` a fault budget lives in register `loc`:
+/// while a state's budget is positive, partial-order reduction is
+/// bypassed for that state (a crash may preempt *any* step, so no
+/// singleton is ample) and, next to every ordinary step, each
+/// crash-capable machine also gets a crash transition that decrements
+/// the budget. States whose budget has reached zero are expanded exactly
+/// as in the fault-free engine — including POR.
+///
 /// This is the only concurrent phase of either backend; everything the
 /// caller does afterwards (draining `pending` in `(parent, via)` order)
 /// is sequential and deterministic.
@@ -297,6 +321,7 @@ pub(crate) fn expand_layer<M, K, L>(
     record_edges: bool,
     por: bool,
     record_reduced: bool,
+    crash_loc: Option<Loc>,
     frozen_find: &L,
 ) -> Vec<WorkerOut<M>>
 where
@@ -328,10 +353,15 @@ where
                     // Worker-private register file, restored per state.
                     let wmem = SimMemory::with_values(&frontier[lo].snap);
                     for (fi, st) in frontier.iter().enumerate().take(hi).skip(lo) {
-                        if por {
+                        // Remaining fault budget in this state. A positive
+                        // budget disables POR (a crash may preempt any
+                        // step, so no singleton is ample) and enables the
+                        // crash-successor loop below.
+                        let budget = crash_loc.map_or(0, |l| st.snap[l.index()]);
+                        if por && budget == 0 {
                             if let Some(a) = ample.choose(&st.machines, &st.done) {
                                 let (frozen, h) = step_state(
-                                    st, a, &wmem, &mut kb, pending, symmetry,
+                                    st, a, None, &wmem, &mut kb, pending, symmetry,
                                     record_edges, frozen_find, w, &mut out,
                                 );
                                 if frozen {
@@ -341,8 +371,8 @@ where
                                     for j in 0..st.machines.len() {
                                         if j != a && !st.done[j] {
                                             step_state(
-                                                st, j, &wmem, &mut kb, pending,
-                                                symmetry, record_edges,
+                                                st, j, None, &wmem, &mut kb,
+                                                pending, symmetry, record_edges,
                                                 frozen_find, w, &mut out,
                                             );
                                         }
@@ -356,9 +386,21 @@ where
                         for i in 0..st.machines.len() {
                             if !st.done[i] {
                                 step_state(
-                                    st, i, &wmem, &mut kb, pending, symmetry,
+                                    st, i, None, &wmem, &mut kb, pending, symmetry,
                                     record_edges, frozen_find, w, &mut out,
                                 );
+                            }
+                        }
+                        if budget > 0 {
+                            let loc = crash_loc.expect("positive budget implies a fault register");
+                            for i in 0..st.machines.len() {
+                                if !st.done[i] && st.machines[i].can_crash() {
+                                    step_state(
+                                        st, i, Some((loc, budget - 1)), &wmem,
+                                        &mut kb, pending, symmetry, record_edges,
+                                        frozen_find, w, &mut out,
+                                    );
+                                }
                             }
                         }
                     }
@@ -407,6 +449,11 @@ where
     assert!(
         machines0.len() < u8::MAX as usize,
         "the frontier engine supports at most 254 machines"
+    );
+    assert!(
+        mc.crash_loc().is_none() || machines0.len() <= CRASH_SCHEDULE_BASE,
+        "with a fault budget the frontier engine supports at most {CRASH_SCHEDULE_BASE} machines \
+         (crash transitions are encoded as machine + {CRASH_SCHEDULE_BASE})"
     );
     let per_state = frontier_state_bytes::<M>(mem.len(), machines0.len());
     let done0 = vec![false; machines0.len()];
@@ -473,6 +520,7 @@ where
             record_edges,
             mc.por_on(),
             false,
+            mc.crash_loc(),
             &find,
         );
 

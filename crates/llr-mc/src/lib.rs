@@ -94,7 +94,7 @@ mod por;
 mod rng;
 mod spill;
 
-pub use checker::{CheckError, CheckStats, ModelChecker, Violation, World};
+pub use checker::{CheckError, CheckStats, ModelChecker, Violation, World, CRASH_SCHEDULE_BASE};
 pub use drive::Engine;
 pub use liveness::LivenessStats;
 pub use machine::{MachineStatus, StepMachine};

@@ -78,4 +78,40 @@ pub trait StepMachine: Clone {
     fn footprint(&self, fp: &mut Footprint) {
         fp.set_unknown();
     }
+
+    /// Whether the crash–restart fault model may crash this machine
+    /// ([`ModelChecker::faults`](crate::ModelChecker::faults)).
+    ///
+    /// The default is `false`: machines that do not opt in are never
+    /// crashed, so a fault budget on a mixed world only perturbs the
+    /// machines that model fault-prone processes.
+    fn can_crash(&self) -> bool {
+        false
+    }
+
+    /// Tears the machine down as if its process crashed at this exact
+    /// point — and, if the machine models a restartable process, brings
+    /// up its replacement.
+    ///
+    /// Contract, mirroring [`step`](Self::step):
+    ///
+    /// * **No shared access.** A crash is a scheduler event; the engine
+    ///   itself accounts for the fault budget. The shared registers keep
+    ///   exactly the values the crashed process had written — torn state
+    ///   is the point of the model.
+    /// * **Determinism.** Given the machine's state, the result must be
+    ///   deterministic (all nondeterminism — *when* the crash happens —
+    ///   lives in the scheduler, which explores a crash transition next
+    ///   to every ordinary step while budget remains).
+    /// * **Faithful keys.** Whatever the crash changes (a tombstone flag,
+    ///   a fresh incarnation's state) must be reflected in
+    ///   [`key`](Self::key).
+    ///
+    /// Returns [`MachineStatus::Done`] when the crash is terminal (no
+    /// replacement — the process freezes forever) and
+    /// [`MachineStatus::Running`] when a restarted incarnation takes
+    /// over. Only called when [`can_crash`](Self::can_crash) is `true`.
+    fn crash_restart(&mut self) -> MachineStatus {
+        unreachable!("crash_restart on a machine that reports can_crash() == false")
+    }
 }

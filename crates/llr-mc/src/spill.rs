@@ -334,6 +334,11 @@ where
         machines0.len() < u8::MAX as usize,
         "the frontier engine supports at most 254 machines"
     );
+    assert!(
+        mc.crash_loc().is_none() || machines0.len() <= crate::checker::CRASH_SCHEDULE_BASE,
+        "with a fault budget the frontier engine supports at most 128 machines \
+         (crash transitions are encoded as machine + CRASH_SCHEDULE_BASE)"
+    );
     let per_state = frontier_state_bytes::<M>(mem.len(), machines0.len());
     let done0 = vec![false; machines0.len()];
 
@@ -385,8 +390,17 @@ where
         let spill_ref = &spill;
         let find = |_buf: &[u64], h: u128| spill_ref.contains_recent(h).then_some(0);
         let por = mc.por_on();
-        let mut outs =
-            expand_layer(&frontier, &pending, workers, symmetry, false, por, por, &find);
+        let mut outs = expand_layer(
+            &frontier,
+            &pending,
+            workers,
+            symmetry,
+            false,
+            por,
+            por,
+            mc.crash_loc(),
+            &find,
+        );
 
         stats.transitions += outs.iter().map(|o| o.transitions).sum::<u64>();
         let materialized: usize = outs.iter().map(|o| o.fresh.len()).sum();

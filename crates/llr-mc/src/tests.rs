@@ -474,3 +474,130 @@ fn shrinking_rejects_innocent_schedules() {
     let mc = ModelChecker::new(layout, vec![Incr::new(x)]);
     let _ = mc.shrink_schedule(&[0, 0], |_| Ok(()));
 }
+
+// ---------------------------------------------------------------------------
+// The crash–restart fault model: a Flagger raises X and lowers it again;
+// crashing between the two writes leaves X torn high forever.
+// ---------------------------------------------------------------------------
+
+#[derive(Clone)]
+struct Flagger {
+    x: Loc,
+    pc: u8,
+}
+
+impl StepMachine for Flagger {
+    fn step(&mut self, mem: &dyn Memory) -> MachineStatus {
+        match self.pc {
+            0 => {
+                mem.write(self.x, 1);
+                self.pc = 1;
+                MachineStatus::Running
+            }
+            _ => {
+                mem.write(self.x, 0);
+                self.pc = 2;
+                MachineStatus::Done
+            }
+        }
+    }
+
+    fn key(&self, out: &mut Vec<u64>) {
+        out.push(self.pc as u64);
+    }
+
+    fn describe(&self) -> String {
+        format!("Flagger(pc={})", self.pc)
+    }
+
+    fn can_crash(&self) -> bool {
+        true
+    }
+
+    fn crash_restart(&mut self) -> MachineStatus {
+        self.pc = 3; // frozen tombstone, distinct from every live pc
+        MachineStatus::Done
+    }
+}
+
+#[test]
+fn faults_zero_leaves_the_state_space_untouched() {
+    let mut layout = Layout::new();
+    let x = layout.scalar("X", 0);
+    let machines = vec![Flagger { x, pc: 0 }, Flagger { x, pc: 0 }];
+    let plain = ModelChecker::new(layout.clone(), machines.clone())
+        .check(|_| Ok(()))
+        .unwrap();
+    let zero = ModelChecker::new(layout, machines)
+        .faults(0)
+        .check(|_| Ok(()))
+        .unwrap();
+    assert_eq!(plain, zero);
+}
+
+#[test]
+fn a_crash_exposes_torn_state() {
+    let mut layout = Layout::new();
+    let x = layout.scalar("X", 0);
+    let mc = ModelChecker::new(layout, vec![Flagger { x, pc: 0 }]).faults(1);
+    // Fault-free, X is always lowered before the machine finishes; only a
+    // crash between the writes can leave it torn high at quiescence.
+    let v = mc
+        .check(|w| {
+            if w.all_done() && w.mem.read(x) == 1 {
+                Err("flag left torn high".into())
+            } else {
+                Ok(())
+            }
+        })
+        .expect_err("the crash window must be found")
+        .unwrap_violation();
+    assert_eq!(v.schedule, vec![0, crate::CRASH_SCHEDULE_BASE]);
+    assert!(v.trace.contains("CRASH"), "trace: {}", v.trace);
+    // The schedule replays: the raise step, then the crash.
+    let (mem, machines, done) = mc.run_schedule(&v.schedule);
+    assert!(done[0]);
+    assert_eq!(mem.read(x), 1);
+    assert_eq!(machines[0].pc, 3);
+}
+
+#[test]
+fn fault_budget_bounds_the_number_of_crashes() {
+    let mut layout = Layout::new();
+    let x = layout.scalar("X", 0);
+    let machines = vec![Flagger { x, pc: 0 }, Flagger { x, pc: 0 }];
+    // With f = 1, at most one machine can die: quiescent X can be torn
+    // high, but both machines can never be tombstoned at once.
+    let stats = ModelChecker::new(layout, machines)
+        .faults(1)
+        .check(|w| {
+            if w.machines.iter().filter(|m| m.pc == 3).count() > 1 {
+                Err("two crashes under a budget of one".into())
+            } else {
+                Ok(())
+            }
+        })
+        .unwrap();
+    // The crash transitions strictly grow the fault-free space (9 states).
+    assert!(stats.states > 9, "{stats}");
+}
+
+#[test]
+fn engines_agree_under_faults() {
+    let mut layout = Layout::new();
+    let x = layout.scalar("X", 0);
+    let y = layout.scalar("Y", 0);
+    let machines = vec![Flagger { x, pc: 0 }, Flagger { x: y, pc: 0 }, Flagger { x, pc: 0 }];
+    let seq = ModelChecker::new(layout.clone(), machines.clone())
+        .faults(2)
+        .check(|_| Ok(()))
+        .unwrap();
+    let par = ModelChecker::new(layout, machines)
+        .faults(2)
+        .workers(3)
+        .check_parallel(|_| Ok(()))
+        .unwrap();
+    assert_eq!(seq.states, par.states);
+    assert_eq!(seq.transitions, par.transitions);
+    assert_eq!(seq.terminal_states, par.terminal_states);
+}

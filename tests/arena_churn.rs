@@ -1,0 +1,142 @@
+//! Churn battery for the gated `NameArena`: client threads die
+//! mid-acquire, at seeded protocol steps, under real oversubscription —
+//! and the arena must shrug.
+//!
+//! Topology per round: a `k = 8` SPLIT behind a 4-permit gate
+//! ([`NameArena::with_permits`]), 8 client threads hammering it, 0–3 of
+//! them armed (via [`ChaosService`]) to panic partway through an
+//! acquire. The three properties under test:
+//!
+//! * **zero leaked permits** — after every thread joins, all 4 permits
+//!   are back at the gate (the RAII guard returned the dead clients');
+//! * **no deadlocked parkers** — oversubscribed threads park at the
+//!   gate, so a crash that wedged the park/notify protocol would hang
+//!   the round; every round quiescing *is* the assertion;
+//! * **uniqueness among survivors** — every successfully acquired name
+//!   is in range and exclusively held, torn wreckage notwithstanding.
+//!
+//! Each round gets a **fresh arena**: a client that died mid-acquire
+//! left permanent partial marks, and the 4-permit gate on a capacity-8
+//! protocol budgets for at most 4 such ghosts — reusing the arena across
+//! rounds would accumulate ghosts past any budget.
+
+use llr_core::arena::NameArena;
+use llr_core::chaos::ChaosService;
+use llr_core::split::Split;
+use llr_core::traits::{Renaming, RenamingHandle};
+use llr_mc::SplitMix64;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+const ROUNDS: u64 = 100;
+const THREADS: u64 = 8;
+const GATE: usize = 4;
+const ITERS: u32 = 10;
+
+/// Quiet the default panic hook for the duration of `f`: every round
+/// *intends* some panics, and 100 rounds of backtraces drown the output.
+fn with_quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = f();
+    std::panic::set_hook(hook);
+    out
+}
+
+#[test]
+fn churn_rounds_leak_nothing() {
+    with_quiet_panics(|| {
+        let mut total_crashes = 0u64;
+        for round in 0..ROUNDS {
+            let mut gen = SplitMix64::new(0xC4A5_4E57_0000_0001 ^ (round * 0x9E37));
+            let svc = ChaosService::new(Split::new(8));
+
+            // Arm 0..=3 distinct victims — within the gate's 8 − 4 = 4
+            // ghost headroom — each dying at a seeded acquire step.
+            let mut doomed = Vec::new();
+            for _ in 0..gen.next_index(4) {
+                let t = gen.next_index(THREADS as usize) as u64;
+                if !doomed.contains(&t) {
+                    doomed.push(t);
+                }
+            }
+            let pid = |t: u64| round * 7_919 + t * 31 + 7;
+            for &t in &doomed {
+                svc.arm(pid(t), gen.next_index(12) as u64);
+            }
+
+            let arena = NameArena::with_permits(svc, GATE);
+            let claimed: Vec<AtomicBool> = (0..arena.dest_size())
+                .map(|_| AtomicBool::new(false))
+                .collect();
+            let crashes = AtomicU64::new(0);
+
+            std::thread::scope(|s| {
+                for t in 0..THREADS {
+                    let arena = &arena;
+                    let claimed = &claimed;
+                    let crashes = &crashes;
+                    s.spawn(move || {
+                        let mut c = arena.client(pid(t));
+                        let run = catch_unwind(AssertUnwindSafe(|| {
+                            for _ in 0..ITERS {
+                                let n = c.acquire();
+                                assert!(n < claimed.len() as u64, "name {n} out of range");
+                                let was = claimed[n as usize].swap(true, Ordering::SeqCst);
+                                assert!(!was, "name {n} double-held");
+                                claimed[n as usize].store(false, Ordering::SeqCst);
+                                c.release();
+                            }
+                        }));
+                        if run.is_err() {
+                            crashes.fetch_add(1, Ordering::SeqCst);
+                        }
+                    });
+                }
+            });
+
+            assert_eq!(
+                arena.free_permits(),
+                GATE,
+                "round {round}: a dead client leaked its admission permit \
+                 ({} crashes this round)",
+                crashes.load(Ordering::SeqCst)
+            );
+            total_crashes += crashes.load(Ordering::SeqCst);
+        }
+        // The battery is only meaningful if fuses actually fire: over 100
+        // seeded rounds a healthy fraction of armed clients must die.
+        assert!(
+            total_crashes >= ROUNDS / 2,
+            "only {total_crashes} crashes across {ROUNDS} rounds — fuses not firing"
+        );
+    });
+}
+
+/// A crash must wake the queue, not strand it: with a single permit and
+/// a parked waiter behind a doomed client, the waiter still finishes.
+#[test]
+fn parked_waiters_survive_a_crash() {
+    with_quiet_panics(|| {
+        let svc = ChaosService::new(Split::new(2));
+        svc.arm(99, 1); // the doomed client dies one step into its acquire
+        let arena = NameArena::with_permits(svc, 1);
+        std::thread::scope(|s| {
+            let doomed = s.spawn(|| {
+                let mut c = arena.client(99);
+                catch_unwind(AssertUnwindSafe(|| c.acquire())).is_err()
+            });
+            let survivor = s.spawn(|| {
+                let mut c = arena.client(7);
+                for _ in 0..5 {
+                    let n = c.acquire(); // may have to park behind the doomed client
+                    assert!(n < arena.dest_size());
+                    c.release();
+                }
+            });
+            assert!(doomed.join().unwrap(), "the armed fuse must fire");
+            survivor.join().unwrap();
+        });
+        assert_eq!(arena.free_permits(), 1);
+    });
+}

@@ -1,34 +1,52 @@
-//! Failure injection: wait-freedom means a process that crashes (stops
-//! taking steps forever) at *any* point — mid-enter, mid-release, while
-//! holding a name — cannot prevent the remaining processes from
-//! completing their acquire/release cycles.
+//! Failure injection through the session layer's first-class fault step.
 //!
-//! For every protocol we freeze one process at every possible step index
-//! of its workload and drive the others round-robin to completion under
-//! a generous step budget.
+//! Wait-freedom means a process that crashes at *any* point — mid-enter,
+//! mid-release, while holding a name — cannot prevent the remaining
+//! processes from completing their acquire/release cycles. Every fault
+//! here goes through [`Session::inject`], the same step the model
+//! checker's fault budget drives, in two flavours per protocol:
+//!
+//! * **freeze-forever** ([`Fault::Freeze`]): the victim stops and never
+//!   returns — the paper's adversary, preserved from the original
+//!   hand-rolled sweep (including the tournament mutex's *documented*
+//!   failure: a blocking substrate is blockable by a crashed holder);
+//! * **crash–restart** ([`Fault::CrashRestart`]): a fresh incarnation
+//!   with a **new** process id takes over on the torn registers the old
+//!   one abandoned, and the whole world — survivors *and* replacement —
+//!   must still finish, with every held or leaked name unique.
+//!
+//! Both sweeps inject at every step index of the victim's workload.
 
+use llr_core::chain::spec::{ChainCore, ChainUser, MiniChainShape};
 use llr_core::filter::spec::FilterUser;
-use llr_core::filter::FilterShape;
+use llr_core::filter::{FilterCore, FilterShape, ReleasePolicy};
 use llr_core::ma::spec::MaUser;
-use llr_core::ma::MaShape;
+use llr_core::ma::{MaCore, MaShape};
+use llr_core::onetime::{OneTimeCore, OneTimeShape};
+use llr_core::pf::{spec as pf_spec, MeRegs};
+use llr_core::session::{Fault, ProtocolCore, Session};
 use llr_core::split::spec::SplitUser;
-use llr_core::split::SplitShape;
+use llr_core::split::{SplitCore, SplitShape};
 use llr_core::splitter::spec::SplitterUser;
-use llr_core::splitter::SplitterRegs;
+use llr_core::splitter::{SplitterCore, SplitterRegs};
 use llr_mc::StepMachine;
 use llr_mem::{Layout, SimMemory};
+use std::collections::HashMap;
 
 /// Steps `machines[victim]` exactly `stall_after` times (unless it
-/// finishes first), then freezes it and drives everyone else round-robin.
+/// finishes first), injects `fault`, and drives every still-running
+/// machine — including a restarted incarnation — round-robin.
 ///
-/// Returns `Err(steps)` if the survivors fail to finish within `budget`.
-fn survivors_finish<M: StepMachine>(
+/// Returns the final machines, or `Err(steps)` if the world fails to
+/// quiesce within `budget`.
+fn drive_after_fault<P: ProtocolCore>(
     layout: &Layout,
-    mut machines: Vec<M>,
+    mut machines: Vec<Session<P>>,
     victim: usize,
     stall_after: usize,
+    fault: Fault,
     budget: u64,
-) -> Result<(), u64> {
+) -> Result<Vec<Session<P>>, u64> {
     let mem = SimMemory::new(layout);
     let mut done = vec![false; machines.len()];
     for _ in 0..stall_after {
@@ -39,12 +57,15 @@ fn survivors_finish<M: StepMachine>(
             done[victim] = true;
         }
     }
-    // The victim now takes no further steps — it has crashed.
+    if !done[victim] {
+        // The fault step: registers keep exactly what the victim wrote.
+        done[victim] = machines[victim].inject(fault).is_done();
+    }
     let mut steps = 0u64;
     loop {
         let mut progressed = false;
         for i in 0..machines.len() {
-            if i == victim || done[i] {
+            if done[i] {
                 continue;
             }
             progressed = true;
@@ -57,34 +78,74 @@ fn survivors_finish<M: StepMachine>(
             }
         }
         if !progressed {
-            return Ok(());
+            return Ok(machines);
         }
     }
 }
 
-/// Exercises every (victim, stall point) combination.
-fn sweep<M: StepMachine>(
-    layout: &Layout,
-    make: impl Fn() -> Vec<M>,
-    max_stall: usize,
-    budget: u64,
-    what: &str,
-) {
-    let n = make().len();
-    for victim in 0..n {
-        for stall_after in 0..=max_stall {
-            if let Err(steps) = survivors_finish(layout, make(), victim, stall_after, budget) {
-                panic!(
-                    "{what}: survivors stuck after {steps} steps \
-                     (victim {victim} frozen after {stall_after} steps)"
-                );
+/// Every name claimed at quiescence — still held (one-shot protocols) or
+/// leaked by a crash-while-Holding — is in range and pairwise distinct.
+fn assert_claims_unique<P: ProtocolCore>(machines: &[Session<P>], what: &str) {
+    let mut claimed: HashMap<u64, usize> = HashMap::new();
+    for (i, m) in machines.iter().enumerate() {
+        for name in m.leaked().iter().copied().chain(m.holding()) {
+            assert!(
+                name < m.core().dest_size(),
+                "{what}: machine {i} claims out-of-range name {name}"
+            );
+            if let Some(j) = claimed.insert(name, i) {
+                panic!("{what}: machines {j} and {i} both claim name {name}");
             }
         }
     }
 }
 
+/// Exercises every (victim, stall point) combination under `fault`,
+/// asserting quiescence and name uniqueness at the end.
+fn sweep<P: ProtocolCore>(
+    layout: &Layout,
+    make: impl Fn() -> Vec<Session<P>>,
+    max_stall: usize,
+    budget: u64,
+    fault: Fault,
+    what: &str,
+) {
+    let n = make().len();
+    for victim in 0..n {
+        for stall_after in 0..=max_stall {
+            match drive_after_fault(layout, make(), victim, stall_after, fault, budget) {
+                Ok(machines) => assert_claims_unique(&machines, what),
+                Err(steps) => panic!(
+                    "{what}: world stuck after {steps} steps \
+                     (victim {victim}, {fault:?} after {stall_after} steps)"
+                ),
+            }
+        }
+    }
+}
+
+/// `true` iff some stall point leaves the world stuck — the signature of
+/// a blocking (non-wait-free) substrate.
+fn some_stall_wedges<P: ProtocolCore>(
+    layout: &Layout,
+    make: impl Fn() -> Vec<Session<P>>,
+    max_stall: usize,
+    budget: u64,
+    fault: Fault,
+) -> bool {
+    let n = make().len();
+    (0..n).any(|victim| {
+        (0..=max_stall)
+            .any(|stall| drive_after_fault(layout, make(), victim, stall, fault, budget).is_err())
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Freeze-forever: the original wait-freedom sweeps, now through inject().
+// ---------------------------------------------------------------------------
+
 #[test]
-fn splitter_survives_any_crash() {
+fn splitter_survives_any_freeze() {
     let mut layout = Layout::new();
     let regs = SplitterRegs::allocate(&mut layout, "B");
     sweep(
@@ -92,12 +153,13 @@ fn splitter_survives_any_crash() {
         || (0..3).map(|p| SplitterUser::new(p, regs, 2)).collect(),
         2 * 10,
         10_000,
+        Fault::Freeze,
         "splitter ℓ=3",
     );
 }
 
 #[test]
-fn split_survives_any_crash() {
+fn split_survives_any_freeze() {
     let mut layout = Layout::new();
     let shape = SplitShape::build(3, &mut layout);
     sweep(
@@ -109,12 +171,13 @@ fn split_survives_any_crash() {
         },
         2 * 2 * 10, // two sessions × two splitters × ≤10 steps
         10_000,
+        Fault::Freeze,
         "SPLIT k=3",
     );
 }
 
 #[test]
-fn filter_survives_any_crash() {
+fn filter_survives_any_freeze() {
     // k = 2 with the fully-contended pid pair (shared first tree): the
     // victim may crash while physically blocking the shared tree; the
     // survivor must route to its private tree.
@@ -131,12 +194,13 @@ fn filter_survives_any_crash() {
         },
         2 * 40,
         50_000,
+        Fault::Freeze,
         "FILTER k=2 contended",
     );
 }
 
 #[test]
-fn filter_survives_crash_at_k3() {
+fn filter_survives_freeze_at_k3() {
     let params = llr_gf::FilterParams::new(3, 25, 1, 5).unwrap();
     let mut layout = Layout::new();
     let shape = FilterShape::build(params, &[1, 6, 11], &mut layout).unwrap();
@@ -150,12 +214,13 @@ fn filter_survives_crash_at_k3() {
         },
         100,
         100_000,
+        Fault::Freeze,
         "FILTER k=3 GF(5)",
     );
 }
 
 #[test]
-fn ma_survives_any_crash() {
+fn ma_survives_any_freeze() {
     let mut layout = Layout::new();
     let shape = MaShape::build(3, 6, &mut layout);
     sweep(
@@ -168,34 +233,271 @@ fn ma_survives_any_crash() {
         },
         2 * 3 * 12,
         100_000,
+        Fault::Freeze,
         "MA k=3",
     );
 }
 
-/// The tournament mutex is *blocking* by design: a crashed critical-
-/// section holder blocks its competitors forever. This test pins down
-/// that contrast (it is why FILTER needs the multi-tree structure).
+#[test]
+fn chain_survives_any_freeze() {
+    let mut layout = Layout::new();
+    let shape = MiniChainShape::build(3, &mut layout);
+    sweep(
+        &layout,
+        || {
+            [3u64, 9, 27]
+                .iter()
+                .map(|&p| ChainUser::new(shape.clone(), p, 2))
+                .collect()
+        },
+        120,
+        100_000,
+        Fault::Freeze,
+        "chain k=3",
+    );
+}
+
+#[test]
+fn onetime_survives_any_freeze() {
+    let mut layout = Layout::new();
+    let shape = OneTimeShape::build(4, &mut layout);
+    sweep(
+        &layout,
+        || {
+            [0u64, 1, 2]
+                .iter()
+                .map(|&p| Session::start(OneTimeCore::new(shape.clone(), p), 1))
+                .collect()
+        },
+        80,
+        100_000,
+        Fault::Freeze,
+        "one-time k=4",
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Crash–restart: a fresh incarnation takes over on torn registers. Each
+// world provisions capacity for the ghost: live machines + one crashed
+// incarnation never exceed the protocol's concurrency bound.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn splitter_survives_crash_restart() {
+    let mut layout = Layout::new();
+    let regs = SplitterRegs::allocate(&mut layout, "B");
+    sweep(
+        &layout,
+        || {
+            (0..2)
+                .map(|p| {
+                    SplitterUser::new(p, regs, 2).with_spares(vec![SplitterCore::new(p + 100, regs)])
+                })
+                .collect()
+        },
+        2 * 10,
+        10_000,
+        Fault::CrashRestart,
+        "splitter ℓ=3 restart",
+    );
+}
+
+#[test]
+fn split_survives_crash_restart() {
+    // k = 3 serving 2 live machines: one crash leaves ghost + survivor +
+    // replacement = 3 participants, exactly the bound.
+    let mut layout = Layout::new();
+    let shape = SplitShape::build(3, &mut layout);
+    sweep(
+        &layout,
+        || {
+            [4u64, 1003]
+                .iter()
+                .map(|&p| {
+                    SplitUser::new(shape.clone(), p, 2)
+                        .with_spares(vec![SplitCore::new(shape.clone(), p + 7_777)])
+                })
+                .collect()
+        },
+        2 * 2 * 10,
+        20_000,
+        Fault::CrashRestart,
+        "SPLIT k=3 restart",
+    );
+}
+
+#[test]
+fn filter_survives_crash_restart() {
+    let params = llr_gf::FilterParams::new(3, 25, 1, 5).unwrap();
+    let mut layout = Layout::new();
+    let shape = FilterShape::build(params, &[1, 6, 11], &mut layout).unwrap();
+    sweep(
+        &layout,
+        || {
+            [1u64, 6]
+                .iter()
+                .map(|&p| {
+                    FilterUser::new(shape.clone(), p, 1).with_spares(vec![FilterCore::new(
+                        shape.clone(),
+                        11,
+                        ReleasePolicy::AtReleaseName,
+                    )])
+                })
+                .collect()
+        },
+        100,
+        200_000,
+        Fault::CrashRestart,
+        "FILTER k=3 GF(5) restart",
+    );
+}
+
+#[test]
+fn ma_survives_crash_restart() {
+    let mut layout = Layout::new();
+    let shape = MaShape::build(3, 6, &mut layout);
+    sweep(
+        &layout,
+        || {
+            [0u64, 2]
+                .iter()
+                .map(|&p| {
+                    MaUser::new(shape.clone(), p, 2)
+                        .with_spares(vec![MaCore::new(shape.clone(), 5)])
+                })
+                .collect()
+        },
+        2 * 3 * 12,
+        200_000,
+        Fault::CrashRestart,
+        "MA k=3 restart",
+    );
+}
+
+#[test]
+fn chain_survives_crash_restart() {
+    let mut layout = Layout::new();
+    let shape = MiniChainShape::build(3, &mut layout);
+    sweep(
+        &layout,
+        || {
+            [3u64, 9]
+                .iter()
+                .map(|&p| {
+                    ChainUser::new(shape.clone(), p, 2)
+                        .with_spares(vec![ChainCore::new(shape.clone(), p + 1_000)])
+                })
+                .collect()
+        },
+        120,
+        200_000,
+        Fault::CrashRestart,
+        "chain k=3 restart",
+    );
+}
+
+#[test]
+fn onetime_survives_crash_restart() {
+    // One-shot sessions end while Holding, so a crash-while-Holding can
+    // only hit before the acquire completes the session — but a crash
+    // mid-acquire still tears the grid, and the fresh incarnation must
+    // rename around the wreckage.
+    let mut layout = Layout::new();
+    let shape = OneTimeShape::build(4, &mut layout);
+    sweep(
+        &layout,
+        || {
+            [0u64, 1]
+                .iter()
+                .map(|&p| {
+                    Session::start(OneTimeCore::new(shape.clone(), p), 1)
+                        .with_spares(vec![OneTimeCore::new(shape.clone(), p + 2)])
+                })
+                .collect()
+        },
+        80,
+        100_000,
+        Fault::CrashRestart,
+        "one-time k=4 restart",
+    );
+}
+
+#[test]
+fn crash_restart_without_spares_degrades_to_freeze() {
+    let mut layout = Layout::new();
+    let shape = SplitShape::build(2, &mut layout);
+    let mut s = SplitUser::new(shape, 1, 1);
+    let mem = SimMemory::new(&layout);
+    while s.holding().is_none() {
+        s.step(&mem);
+    }
+    let held = s.holding().unwrap();
+    assert!(s.inject(Fault::CrashRestart).is_done(), "no spare → frozen");
+    assert!(s.is_crashed());
+    assert_eq!(s.incarnation(), 0);
+    assert_eq!(s.leaked(), &[held], "the held name is recorded as leaked");
+}
+
+// ---------------------------------------------------------------------------
+// The blocking substrates: a crashed critical-section holder wedges the
+// world — frozen or restarted alike, since the replacement queues behind
+// its predecessor's torn claim. These pins are the documented contrast
+// that motivates FILTER's multi-tree structure.
+// ---------------------------------------------------------------------------
+
 #[test]
 fn tournament_mutex_is_not_crash_tolerant() {
     use llr_core::tournament::spec::TreeUser;
-    use llr_core::tournament::TreeShape;
+    use llr_core::tournament::{TreeCore, TreeShape};
 
     let mut layout = Layout::new();
-    let shape = TreeShape::build(&mut layout, "T", 4, &[0, 3]);
-    let make = || -> Vec<TreeUser> {
+    let shape = TreeShape::build(&mut layout, "T", 4, &[0, 1, 3]);
+    // Freeze process 0 right after it wins the root: survivor spins
+    // forever.
+    let make_frozen = || -> Vec<TreeUser> {
         [0u64, 3]
             .iter()
             .map(|&p| TreeUser::new(shape.clone(), p, 1))
             .collect()
     };
-    // Freeze process 0 right after it wins the root (enter 3 + check at
-    // both levels of a 2-level tree = 8 steps + 1 idle step): survivor
-    // spins forever.
-    let stuck = (0..=16).any(|stall| {
-        survivors_finish(&layout, make(), 0, stall, 5_000).is_err()
-    });
     assert!(
-        stuck,
+        some_stall_wedges(&layout, make_frozen, 16, 5_000, Fault::Freeze),
         "a blocking mutex must be blockable by a crashed holder"
     );
+    // A restarted incarnation does not help: it queues behind the dead
+    // incarnation's torn claim like everyone else.
+    let make_restart = || -> Vec<TreeUser> {
+        [0u64, 3]
+            .iter()
+            .map(|&p| {
+                TreeUser::new(shape.clone(), p, 1)
+                    .with_spares(vec![TreeCore::new(shape.clone(), 1)])
+            })
+            .collect()
+    };
+    assert!(
+        some_stall_wedges(&layout, make_restart, 16, 5_000, Fault::CrashRestart),
+        "a fresh incarnation cannot unwedge a blocking mutex"
+    );
+}
+
+#[test]
+fn pf_mutex_is_not_crash_tolerant() {
+    let mut layout = Layout::new();
+    let regs = MeRegs::allocate(&mut layout, "ME");
+    // Two-sided Peterson–Fischer: there is no fresh id to restart under,
+    // so CrashRestart (spare-less) degrades to a freeze — and a freeze
+    // inside the critical section wedges the other side.
+    for fault in [Fault::Freeze, Fault::CrashRestart] {
+        let make = || -> Vec<pf_spec::MeUser> {
+            vec![
+                pf_spec::MeUser::new(regs, 0, 1),
+                pf_spec::MeUser::new(regs, 1, 1),
+            ]
+        };
+        assert!(
+            some_stall_wedges(&layout, make, 16, 5_000, fault),
+            "a blocking ME must be blockable by a crashed holder ({fault:?})"
+        );
+    }
 }

@@ -258,6 +258,177 @@ fn independent_steps_commute() {
     );
 }
 
+/// One seeded schedule with 0–2 injected crash–restarts, run
+/// differentially: a fault-free mirror world takes *identical* scheduling
+/// choices, and until the first crash fires the two worlds must agree
+/// exactly — register file, every machine's key, every done flag. From
+/// the first crash on, the faulty world is on its own and must satisfy
+/// [`crash_robust_uniqueness`] at every visited state.
+///
+/// Returns the number of crashes actually injected.
+fn crash_differential<P: llr_core::session::ProtocolCore>(
+    label: &str,
+    layout: &Layout,
+    machines: Vec<llr_core::session::Session<P>>,
+    gen: &mut SplitMix64,
+    max_steps: usize,
+) -> usize {
+    use llr_core::session::{crash_robust_uniqueness, Fault};
+
+    let mem_f = SimMemory::new(layout);
+    let mem_c = SimMemory::new(layout);
+    let mut faulty = machines.clone();
+    let mut clean = machines;
+    let n = faulty.len();
+    let mut done_f = vec![false; n];
+    let mut done_c = vec![false; n];
+
+    // Draw crash points from the early quarter of the step budget: the
+    // budget is sized for the *post-crash* tail (restarted incarnations
+    // redo all their sessions), and worlds quiesce well before it runs
+    // out, so a uniform draw would mostly land after quiescence.
+    let mut crash_at: Vec<usize> = (0..gen.next_index(3))
+        .map(|_| gen.next_index(max_steps / 4))
+        .collect();
+    crash_at.sort_unstable();
+    crash_at.dedup();
+    let mut injected = 0usize;
+
+    let keys = |ms: &[llr_core::session::Session<P>]| -> Vec<Vec<Word>> {
+        ms.iter()
+            .map(|m| {
+                let mut k = Vec::new();
+                m.key(&mut k);
+                k
+            })
+            .collect()
+    };
+
+    for step in 0..max_steps {
+        if injected == 0 {
+            // The untouched prefix: fault-free and faulty worlds are
+            // bit-identical.
+            assert_eq!(
+                mem_f.snapshot(),
+                mem_c.snapshot(),
+                "{label}: prefix registers diverged at step {step}"
+            );
+            assert_eq!(
+                keys(&faulty),
+                keys(&clean),
+                "{label}: prefix machine state diverged at step {step}"
+            );
+            assert_eq!(done_f, done_c, "{label}: prefix done flags diverged at step {step}");
+        }
+        let running: Vec<usize> = (0..n).filter(|&i| !done_f[i]).collect();
+        if running.is_empty() {
+            break;
+        }
+        let i = running[gen.next_index(running.len())];
+        if crash_at.binary_search(&step).is_ok() {
+            done_f[i] = faulty[i].inject(Fault::CrashRestart).is_done();
+            injected += 1;
+        } else {
+            done_f[i] = faulty[i].step(&mem_f).is_done();
+            if injected == 0 {
+                done_c[i] = clean[i].step(&mem_c).is_done();
+            }
+        }
+        let world = llr_mc::World {
+            mem: &mem_f,
+            machines: &faulty,
+            done: &done_f,
+        };
+        crash_robust_uniqueness(&world)
+            .unwrap_or_else(|msg| panic!("{label}: step {step}: {msg}"));
+    }
+    injected
+}
+
+/// More than 500 independent crash–restart schedules across three
+/// protocol families, each provisioned so live incarnations + crash
+/// ghosts never exceed the protocol's concurrency bound (k = 4 serving
+/// 2 live machines: up to 2 crashes leave at most 4 participants).
+#[test]
+fn crash_schedules_differential() {
+    use llr_core::filter::{FilterCore, ReleasePolicy};
+    use llr_core::ma::{MaCore, MaShape};
+    use llr_core::session::Session;
+    use llr_core::split::SplitCore;
+
+    const SCHEDULES_PER_FAMILY: usize = 176;
+    let mut gen = SplitMix64::new(0x5EED_5917_7E55_0007);
+    let mut schedules = 0usize;
+    let mut crashes = 0usize;
+
+    // SPLIT k = 4, 2 live + 2 spares each.
+    let mut layout = Layout::new();
+    let split_shape = SplitShape::build(4, &mut layout);
+    for _ in 0..SCHEDULES_PER_FAMILY {
+        let machines: Vec<_> = [1u64, 1_000]
+            .iter()
+            .map(|&p| {
+                Session::start(SplitCore::new(split_shape.clone(), p), 2).with_spares(vec![
+                    SplitCore::new(split_shape.clone(), p + 2_000),
+                    SplitCore::new(split_shape.clone(), p + 4_000),
+                ])
+            })
+            .collect();
+        crashes += crash_differential("SPLIT k=4", &layout, machines, &mut gen, 200);
+        schedules += 1;
+    }
+
+    // MA k = 4, S = 8, 2 live + 2 spares each (all pids distinct).
+    let mut layout = Layout::new();
+    let ma_shape = MaShape::build(4, 8, &mut layout);
+    for _ in 0..SCHEDULES_PER_FAMILY {
+        let machines: Vec<_> = [(0u64, [1u64, 2]), (4, [5, 6])]
+            .iter()
+            .map(|&(p, spares)| {
+                Session::start(MaCore::new(ma_shape.clone(), p), 2).with_spares(
+                    spares
+                        .iter()
+                        .map(|&q| MaCore::new(ma_shape.clone(), q))
+                        .collect(),
+                )
+            })
+            .collect();
+        crashes += crash_differential("MA k=4 S=8", &layout, machines, &mut gen, 300);
+        schedules += 1;
+    }
+
+    // FILTER k = 4 (two_k_four), 2 live + 1 spare each; a second crash
+    // of the same slot degrades to a freeze, which is also a legal fault.
+    let params = FilterParams::two_k_four(4).unwrap();
+    let mut layout = Layout::new();
+    let filter_shape =
+        llr_core::filter::FilterShape::build(params, &[1, 6, 11, 16], &mut layout).unwrap();
+    for _ in 0..SCHEDULES_PER_FAMILY {
+        let machines: Vec<_> = [(1u64, 11u64), (6, 16)]
+            .iter()
+            .map(|&(p, spare)| {
+                Session::start(
+                    FilterCore::new(filter_shape.clone(), p, ReleasePolicy::AtReleaseName),
+                    1,
+                )
+                .with_spares(vec![FilterCore::new(
+                    filter_shape.clone(),
+                    spare,
+                    ReleasePolicy::AtReleaseName,
+                )])
+            })
+            .collect();
+        crashes += crash_differential("FILTER 2k-4", &layout, machines, &mut gen, 400);
+        schedules += 1;
+    }
+
+    assert!(schedules > 500, "only {schedules} schedules ran");
+    assert!(
+        crashes > schedules / 2,
+        "only {crashes} crashes across {schedules} schedules — injection gone vacuous"
+    );
+}
+
 /// MA grid uniqueness with 3 processes and random pids.
 #[test]
 fn ma_random_walks() {
