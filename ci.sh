@@ -12,8 +12,9 @@
 #      mid-size rows of results/e2_modelcheck.csv under the sequential
 #      DFS, the parallel BFS engine (1/2/4 workers, exact and hashed
 #      dedup) and the spill-to-disk engine (generous and zero budgets),
-#      pinning the counts byte-for-byte. This is the checker hot path;
-#      run it in release so it stays fast.
+#      pinning the counts byte-for-byte — one family per protocol,
+#      including the rival cores (LevelArray, small splitter networks).
+#      This is the checker hot path; run it in release so it stays fast.
 #   5. POR soundness subset: the partial-order-reduction differential
 #      suite (reduced vs full verdicts/terminals on every family, all
 #      backends) and the footprint audit (declared footprints must
@@ -27,7 +28,7 @@
 #      code paths plus real thread timing is where a wrong memory
 #      ordering would actually surface.
 #   7. crash/churn gate: the fault-injection sweeps (freeze and
-#      crash–restart at every stall point, all eight protocol cores)
+#      crash–restart at every stall point, all ten protocol cores)
 #      and the arena churn battery (armed clients panicking mid-acquire
 #      under a 4-permit gate, 100 seeded rounds, zero leaked permits).
 #      Also release: the churn rounds are real oversubscribed threads,

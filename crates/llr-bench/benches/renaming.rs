@@ -19,8 +19,10 @@
 
 use llr_core::chain::Chain;
 use llr_core::filter::Filter;
+use llr_core::levelarray::LevelArray;
 use llr_core::ma::MaGrid;
 use llr_core::onetime::OneTimeGrid;
+use llr_core::smallnet::RenewableNet;
 use llr_core::split::Split;
 use llr_core::traits::{Renaming, RenamingHandle};
 use llr_gf::FilterParams;
@@ -222,6 +224,17 @@ fn bench_contended_scaling() {
             .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(3))
             .collect();
         measure(&mut rows, "chain_t11", k, &chain, &pids);
+
+        // The rivals, same handles, same sweep: LevelArray claims with a
+        // single swap per probed slot; the renewable small network
+        // amortizes a fresh register file over every k one-shot walks.
+        let la = LevelArray::new(k);
+        let pids: Vec<u64> = (0..k as u64).map(|i| i * 1_000_003 + 11).collect();
+        measure(&mut rows, "levelarray", k, &la, &pids);
+
+        let net = RenewableNet::new(k - 1);
+        let pids: Vec<u64> = (0..k as u64).map(|i| i * 99_991 + 3).collect();
+        measure(&mut rows, "smallnet_renew", k, &net, &pids);
     }
 
     write_csv(

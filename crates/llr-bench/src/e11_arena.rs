@@ -26,7 +26,9 @@ use crate::histogram::LogHistogram;
 use llr_core::arena::NameArena;
 use llr_core::chain::Chain;
 use llr_core::filter::Filter;
+use llr_core::levelarray::LevelArray;
 use llr_core::ma::MaGrid;
+use llr_core::smallnet::RenewableNet;
 use llr_core::split::Split;
 use llr_core::traits::{Renaming, RenamingHandle};
 use llr_gf::FilterParams;
@@ -199,6 +201,20 @@ pub fn run() {
         let arena = NameArena::new(Chain::theorem11(k).expect("theorem-11 chain"));
         let stats = measure(&arena, &sparse_pids(k as u64), 500);
         emit(&mut table, "latency", "chain_t11", "default", k, k, &stats, host_cores, degraded);
+    }
+    // The rivals, head to head with the paper's protocols on the same
+    // stack: LevelArray's acquire is a couple of swaps; the renewable
+    // small network pays its generation rotation on the slow path.
+    for k in [2usize, 4, 8] {
+        let arena = NameArena::new(LevelArray::new(k));
+        let stats = measure(&arena, &sparse_pids(k as u64), 2_000);
+        emit(&mut table, "latency", "levelarray", "default", k, k, &stats, host_cores, degraded);
+    }
+    {
+        let k = 4;
+        let arena = NameArena::new(RenewableNet::new(k - 1));
+        let stats = measure(&arena, &sparse_pids(k as u64), 2_000);
+        emit(&mut table, "latency", "smallnet_renew", "default", k, k, &stats, host_cores, degraded);
     }
 
     banner("threads: SPLIT k = 4 from undersubscribed to oversubscribed");

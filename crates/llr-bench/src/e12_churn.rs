@@ -28,8 +28,10 @@ use crate::common::{banner, host_parallelism, Table};
 use llr_core::arena::NameArena;
 use llr_core::chaos::ChaosService;
 use llr_core::filter::{FilterCore, FilterShape, ReleasePolicy};
+use llr_core::levelarray::{LevelArrayCore, LevelShape};
 use llr_core::ma::{MaCore, MaShape};
 use llr_core::session::{crash_robust_uniqueness, ProtocolCore, Session};
+use llr_core::smallnet::{SmallNetCore, SmallNetShape};
 use llr_core::split::{Split, SplitCore, SplitShape};
 use llr_core::traits::{Renaming, RenamingHandle};
 use llr_gf::FilterParams;
@@ -285,6 +287,55 @@ pub fn run() {
             &mut table,
             "FILTER",
             "2k⁴ regime k=4, 2 live + 1 spare each, 1 session",
+            f,
+            layout,
+            machines,
+            host_cores,
+            degraded,
+        );
+    }
+
+    // LevelArray k = 4: the swap-based rival. A crash while Holding leaks
+    // its level bit — `max_names_in_use` counts it like any other claim.
+    for f in 0..=2u64 {
+        let mut layout = Layout::new();
+        let shape = LevelShape::build(4, &mut layout);
+        let machines: Vec<_> = [3u64, 9_000]
+            .iter()
+            .map(|&p| {
+                Session::start(LevelArrayCore::new(shape.clone(), p), 1)
+                    .with_spares(vec![LevelArrayCore::new(shape.clone(), p + 50_000)])
+            })
+            .collect();
+        checker_row(
+            &mut table,
+            "LevelArray",
+            "k=4, 2 live + 1 spare each, 1 session",
+            f,
+            layout,
+            machines,
+            host_cores,
+            degraded,
+        );
+    }
+
+    // Small splitter network ℓ = 3 (one-shot, 4 entrants): every restart
+    // consumes an entry slot, so 2 live + 1 spare each saturates the
+    // network exactly at f = 2.
+    for f in 0..=2u64 {
+        let mut layout = Layout::new();
+        let shape = SmallNetShape::build(3, &mut layout);
+        let machines: Vec<_> = [0u64, 1]
+            .iter()
+            .map(|&p| {
+                Session::start(SmallNetCore::new(shape.clone(), p), 1)
+                    .with_spares(vec![SmallNetCore::new(shape.clone(), p + 2)])
+            })
+            .collect();
+        checker_row(
+            &mut table,
+            "small net",
+            "ℓ=3 (4 entrants), 2 live + 1 spare each, 1 session",
             f,
             layout,
             machines,

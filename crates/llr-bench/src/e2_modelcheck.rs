@@ -34,7 +34,9 @@
 use crate::common::{banner, Table};
 use llr_core::chain::spec as chain_spec;
 use llr_core::filter::spec as filter_spec;
+use llr_core::levelarray::spec as la_spec;
 use llr_core::ma::spec as ma_spec;
+use llr_core::smallnet::spec as net_spec;
 use llr_core::onetime::spec as onetime_spec;
 use llr_core::pf::spec as pf_spec;
 use llr_core::split::spec as split_spec;
@@ -457,6 +459,80 @@ pub fn run() {
         ),
     );
 
+    // LevelArray (arXiv:1405.5461 reconstruction) — the swap-claimed
+    // rival. State spaces are minute next to the read/write protocols:
+    // the claim is a single exchange, so an acquire is 1-2 steps and the
+    // whole k=4 full-occupancy world fits in thousands of states. The
+    // sequential DFS covers every row; the k=4 row also runs reduced to
+    // pin that POR composes with the swap footprint (read+write of one
+    // slot).
+    for (k, pids, sessions) in [
+        (2usize, vec![0u64, 1], 2u8),
+        (3, vec![2, 9, 77], 2),
+        (4, vec![0, 1, 2, 3], 2),
+    ] {
+        add(
+            "LevelArray",
+            "held names unique",
+            &format!("k={k}, pids={pids:?}, {sessions} sessions"),
+            &dfs(),
+            explore(
+                la_spec::checker(k, &pids, sessions),
+                la_spec::unique_names_invariant,
+                &dfs(),
+            ),
+        );
+    }
+    add(
+        "LevelArray",
+        "held names unique (por-safe)",
+        "k=4, pids=[0, 1, 2, 3], 2 sessions",
+        &por(bfs_hashed()),
+        explore(
+            la_spec::checker(4, &[0, 1, 2, 3], 2),
+            la_spec::unique_names_invariant,
+            &por(bfs_hashed()),
+        ),
+    );
+
+    // Small splitter network (arXiv:1011.3170 reconstruction) — the
+    // pruned one-shot grid. ℓ=3 at full occupancy is the direct analogue
+    // of the one-time k=4 row above on k fewer splitters; ℓ=4 with four
+    // entrants mirrors the k=5 partial-occupancy row.
+    for (ell, pids) in [(1usize, vec![0u64, 1]), (2, vec![0, 1, 2])] {
+        add(
+            "small net",
+            "acquired names unique",
+            &format!("ℓ={ell}, pids={pids:?}"),
+            &dfs(),
+            explore(net_spec::checker(ell, &pids), net_spec::unique_names_invariant, &dfs()),
+        );
+    }
+    for engine in [dfs(), bfs()] {
+        add(
+            "small net",
+            "acquired names unique",
+            "ℓ=3 (4 entrants), pids=[0, 1, 2, 3]",
+            &engine,
+            explore(
+                net_spec::checker(3, &[0, 1, 2, 3]),
+                net_spec::unique_names_invariant,
+                &engine,
+            ),
+        );
+    }
+    add(
+        "small net",
+        "acquired names unique",
+        "ℓ=4 (5 entrants), pids=[0, 1, 2, 4]",
+        &bfs_hashed(),
+        explore(
+            net_spec::checker(4, &[0, 1, 2, 4]),
+            net_spec::unique_names_invariant,
+            &bfs_hashed(),
+        ),
+    );
+
     t.finish();
 
     // Liveness: from every reachable state, some schedule finishes the
@@ -527,6 +603,22 @@ pub fn run() {
         (r, start.elapsed())
     };
     add_live("chain SPLIT→MA", "k=2, 2 procs, 2 sessions", r, w);
+
+    let (r, w) = {
+        let start = Instant::now();
+        let r = la_spec::checker(3, &[2, 9, 77], 2)
+            .workers(0)
+            .check_always_terminable();
+        (r, start.elapsed())
+    };
+    add_live("LevelArray", "k=3, 3 procs, 2 sessions", r, w);
+
+    let (r, w) = {
+        let start = Instant::now();
+        let r = net_spec::checker(2, &[0, 1, 2]).workers(0).check_always_terminable();
+        (r, start.elapsed())
+    };
+    add_live("small net", "ℓ=2, 3 procs, 1 session", r, w);
 
     lt.finish();
 }

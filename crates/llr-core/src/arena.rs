@@ -222,6 +222,23 @@ pub struct NameArena<R: Renaming> {
 
 impl<R: Renaming> NameArena<R> {
     /// Wraps `inner`, gating admission at `inner.concurrency()` permits.
+    ///
+    /// # Example
+    ///
+    /// Acquire through a client: the gate admits, the protocol names.
+    ///
+    /// ```
+    /// use llr_core::arena::NameArena;
+    /// use llr_core::levelarray::LevelArray;
+    /// use llr_core::traits::{Renaming, RenamingHandle};
+    ///
+    /// let arena = NameArena::new(LevelArray::new(4));
+    /// let mut c = arena.client(987_654_321);
+    /// let name = c.acquire();
+    /// assert!(name < arena.dest_size());
+    /// assert_eq!(c.held(), Some(name));
+    /// c.release();
+    /// ```
     pub fn new(inner: R) -> Self {
         let k = inner.concurrency();
         Self::with_permits(inner, k)

@@ -422,8 +422,11 @@ pub mod spec {
         /// Stage 2: the MA walk, with the SPLIT outcome carried along for
         /// the eventual backwards release.
         Ma {
+            /// The SPLIT tree path, kept for the backwards release.
             split_path: PathVec,
+            /// The intermediate identity SPLIT assigned for the MA stage.
             intermediate: Pid,
+            /// The in-flight MA grid walk.
             m: MaAcquire,
         },
     }
@@ -447,7 +450,9 @@ pub mod spec {
     pub enum ChainRelease {
         /// The pending MA release write, with the SPLIT path stashed.
         Ma {
+            /// The SPLIT tree path to retrace once the MA write lands.
             split_path: PathVec,
+            /// The pending MA release machine.
             m: MaRelease,
         },
         /// Stage 1 unwinding.

@@ -17,6 +17,8 @@
 //! | [`ma::MaGrid`] | `k(k+1)/2` | `O(kS)` | **no** (the baseline) |
 //! | [`chain::Chain`] | `k(k+1)/2` | `O(k³)` | yes (Theorem 11) |
 //! | [`onetime::OneTimeGrid`] | `k(k+1)/2` | `O(k)` | yes, but one-shot |
+//! | [`levelarray::LevelArray`] | `3k + ⌈log₂k⌉ + 1` | `O(k)` expected | yes (rival; uses swap) |
+//! | [`smallnet::SmallNet`] | `k(k+1)/2` | `O(k²)` | one-shot rival (renewable via [`smallnet::RenewableNet`]) |
 //!
 //! # Architecture
 //!
@@ -43,14 +45,18 @@
 //! h.release();
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod arena;
 pub mod chain;
 pub mod chaos;
 pub mod filter;
 pub mod harness;
+pub mod levelarray;
 pub mod ma;
 pub mod onetime;
 pub mod pf;
+pub mod smallnet;
 pub mod session;
 pub mod split;
 pub mod splitter;

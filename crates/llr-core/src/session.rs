@@ -347,6 +347,28 @@ impl<P: ProtocolCore> Session<P> {
     /// returning [`MachineStatus::Running`]; [`Fault::Freeze`] — or a
     /// restart with no spare left — freezes the slot forever and returns
     /// [`MachineStatus::Done`].
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use llr_core::levelarray::{LevelArrayCore, LevelShape};
+    /// use llr_core::session::{Fault, Session};
+    /// use llr_mem::Layout;
+    ///
+    /// let mut layout = Layout::new();
+    /// let shape = LevelShape::build(3, &mut layout);
+    /// let mut s = Session::start(LevelArrayCore::new(shape.clone(), 7), 2)
+    ///     .with_spares(vec![LevelArrayCore::new(shape, 8)]);
+    ///
+    /// // A crash with a spare restarts the slot under the fresh pid...
+    /// s.inject(Fault::CrashRestart);
+    /// assert_eq!(s.incarnation(), 1);
+    /// assert!(!s.is_crashed());
+    ///
+    /// // ...but a freeze stops it forever.
+    /// s.inject(Fault::Freeze);
+    /// assert!(s.is_crashed());
+    /// ```
     pub fn inject(&mut self, fault: Fault) -> MachineStatus {
         if let SessionPhase::Holding(t) = &self.phase {
             if let Some(name) = self.core.token_name(t) {

@@ -222,6 +222,15 @@ impl Memory for AtomicMemory {
         self.cell(loc).store(val, ord)
     }
 
+    #[inline]
+    fn swap(&self, loc: Loc, val: Word) -> Word {
+        // A real hardware exchange, SeqCst like the acquire path: swap is
+        // only ever used on acquire-side claim bits (LevelArray slots),
+        // where the claim must be globally ordered against every rival
+        // claim and against release-path clears.
+        self.cell(loc).swap(val, Ordering::SeqCst)
+    }
+
     fn len(&self) -> usize {
         match &self.cells {
             Cells::Flat(cells) => cells.len(),
@@ -331,6 +340,23 @@ mod tests {
         };
         writer.join().unwrap();
         reader.join().unwrap();
+    }
+
+    #[test]
+    fn swap_grants_exactly_one_claimant() {
+        // The test-and-set litmus: 8 threads race swap(x, 1) on an initial
+        // 0; exactly one of them may observe the 0.
+        let mut l = Layout::new();
+        let x = l.scalar("X", 0);
+        let mem = Arc::new(AtomicMemory::new(&l));
+        let winners: Vec<_> = (0..8)
+            .map(|_| {
+                let m = Arc::clone(&mem);
+                std::thread::spawn(move || m.swap(x, 1) == 0)
+            })
+            .collect();
+        let won = winners.into_iter().map(|h| h.join().unwrap()).filter(|&w| w).count();
+        assert_eq!(won, 1, "test-and-set must have exactly one winner");
     }
 
     #[test]

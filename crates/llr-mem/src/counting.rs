@@ -82,6 +82,16 @@ impl<M: Memory + ?Sized> Memory for Counting<'_, M> {
         self.inner.write_rel(loc, val)
     }
 
+    #[inline]
+    fn swap(&self, loc: Loc, val: Word) -> Word {
+        // Forward as a single exchange — decomposing via the trait default
+        // would break atomicity on a multi-thread inner. Counted as one
+        // read + one write, matching the default's accounting.
+        self.reads.set(self.reads.get() + 1);
+        self.writes.set(self.writes.get() + 1);
+        self.inner.swap(loc, val)
+    }
+
     fn len(&self) -> usize {
         self.inner.len()
     }
@@ -117,6 +127,18 @@ mod tests {
         v.write_rel(x, 3);
         assert_eq!(v.writes(), 1);
         assert_eq!(mem.read(x), 3);
+    }
+
+    #[test]
+    fn swap_counts_one_read_one_write() {
+        let mut l = Layout::new();
+        let x = l.scalar("X", 4);
+        let mem = AtomicMemory::new(&l);
+        let v = Counting::new(&mem);
+        assert_eq!(v.swap(x, 5), 4);
+        assert_eq!(v.reads(), 1);
+        assert_eq!(v.writes(), 1);
+        assert_eq!(mem.read(x), 5);
     }
 
     #[test]

@@ -61,10 +61,20 @@ pub type Word = u64;
 
 /// A single-word, atomically readable/writable register file.
 ///
-/// This is the paper's entire inter-process communication model: no
-/// test-and-set, no compare-and-swap — reads and writes only. Both methods
-/// take `&self`; implementations provide interior mutability
-/// ([`AtomicMemory`] via atomics, [`SimMemory`] via `Cell`).
+/// This is the paper's entire inter-process communication model: reads and
+/// writes only. All methods take `&self`; implementations provide interior
+/// mutability ([`AtomicMemory`] via atomics, [`SimMemory`] via `Cell`).
+///
+/// One **deliberate extension** lives alongside the read/write pair:
+/// [`Memory::swap`], an atomic exchange (test-and-set when the value
+/// written is a boolean). The paper's protocols never call it — their whole
+/// point is doing without such primitives — but the rival protocols the
+/// related work benchmarks against (the LevelArray of arXiv:1405.5461,
+/// the TAS baseline) are built on it, and implementing them on the same
+/// substrate keeps the comparison honest: same layouts, same access
+/// accounting, same model checker. Reads/writes stay the default; a
+/// protocol that calls `swap` documents it loudly (see
+/// `llr-core/src/levelarray.rs`).
 pub trait Memory {
     /// Atomically reads the register at `loc`.
     ///
@@ -98,6 +108,32 @@ pub trait Memory {
     /// Panics if `loc` is out of bounds for this register file.
     fn write_rel(&self, loc: Loc, val: Word) {
         self.write(loc, val)
+    }
+
+    /// Atomically writes `val` to the register at `loc` and returns the
+    /// value it replaced — the exchange / test-and-set extension (see the
+    /// trait docs for why it exists at all).
+    ///
+    /// The default decomposes into a [`read`](Memory::read) followed by a
+    /// [`write`](Memory::write). That is atomic **only** on backends where
+    /// a whole protocol step is atomic anyway — the single-threaded
+    /// [`SimMemory`] under the model checker, where the checker's step
+    /// granularity makes the pair indivisible. [`AtomicMemory`] overrides
+    /// it with a real hardware `swap` so the multi-thread semantics match
+    /// what the checker explored. Wrappers that forward to a multi-thread
+    /// backend (e.g. [`Counting`]) must also override it — decomposing
+    /// there would break atomicity.
+    ///
+    /// For the access-count complexity measure a swap is one load plus one
+    /// store: it counts as **one read and one write** on every backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loc` is out of bounds for this register file.
+    fn swap(&self, loc: Loc, val: Word) -> Word {
+        let old = self.read(loc);
+        self.write(loc, val);
+        old
     }
 
     /// Number of registers in the file.
@@ -143,5 +179,21 @@ mod tests {
         let sim = SimMemory::new(&layout);
         assert!(sim.is_empty());
         assert_eq!(sim.len(), 0);
+    }
+
+    #[test]
+    fn swap_returns_old_value_on_both_backends() {
+        let layout = small_layout();
+        let sim = SimMemory::new(&layout);
+        let atomic = AtomicMemory::new(&layout);
+        let mems: Vec<&dyn Memory> = vec![&sim, &atomic];
+        for mem in mems {
+            assert_eq!(mem.swap(Loc(0), 7), 3);
+            assert_eq!(mem.swap(Loc(0), 9), 7);
+            assert_eq!(mem.read(Loc(0)), 9);
+        }
+        // The default decomposition counts one read + one write.
+        assert_eq!(sim.reads(), 3);
+        assert_eq!(sim.writes(), 2);
     }
 }

@@ -17,7 +17,9 @@
 use llr_core::arena::NameArena;
 use llr_core::chain::{spec as chain_spec, Chain};
 use llr_core::filter::{spec as filter_spec, Filter};
+use llr_core::levelarray::{spec as la_spec, LevelArray};
 use llr_core::ma::{spec as ma_spec, MaGrid};
+use llr_core::smallnet::{spec as net_spec, RenewableNet};
 use llr_core::onetime::spec as onetime_spec;
 use llr_core::pf::spec as pf_spec;
 use llr_core::split::{spec as split_spec, Split};
@@ -145,6 +147,21 @@ fn onetime_backends_agree() {
     assert_backends_agree("one-time k=3", &onetime_spec::checker(3, &[0, 1, 2]));
 }
 
+#[test]
+fn levelarray_backends_agree() {
+    // The claim step is a Memory::swap: SimMemory runs the default
+    // read+write decomposition, AtomicMemory a hardware exchange — the
+    // traces must be indistinguishable.
+    assert_backends_agree("LevelArray k=2", &la_spec::checker(2, &[0, 1], 2));
+    assert_backends_agree("LevelArray k=3", &la_spec::checker(3, &[2, 9, 77], 2));
+}
+
+#[test]
+fn smallnet_backends_agree() {
+    assert_backends_agree("small net ℓ=1", &net_spec::checker(1, &[0, 1]));
+    assert_backends_agree("small net ℓ=2", &net_spec::checker(2, &[0, 1, 2]));
+}
+
 // ---------------------------------------------------------------------------
 // Part 2: multi-threaded stress — unique names under real interleavings
 // ---------------------------------------------------------------------------
@@ -209,6 +226,22 @@ fn chain_stress_3_threads() {
 }
 
 #[test]
+fn levelarray_stress_2_4_8_threads() {
+    for threads in [2usize, 4, 8] {
+        let la = LevelArray::new(threads);
+        stress_unique_names(&la, &sparse_pids(threads as u64), 300);
+    }
+}
+
+#[test]
+fn renewable_net_stress_4_threads() {
+    // Generational rotation under real contention: 4 threads on a k = 4
+    // network, hundreds of generations.
+    let net = RenewableNet::new(3);
+    stress_unique_names(&net, &sparse_pids(4), 300);
+}
+
+#[test]
 fn arena_oversubscribed_stress_8_threads() {
     // 8 client threads multiplexed onto k = 4 protocols by the arena's
     // admission gate: SPLIT (unbounded pid space) and MA (pids from 0..S).
@@ -218,6 +251,14 @@ fn arena_oversubscribed_stress_8_threads() {
     let arena = NameArena::new(MaGrid::new(4, 64));
     let pids: Vec<u64> = (0..8u64).map(|i| i * 5 + 2).collect();
     stress_unique_names(&arena, &pids, 300);
+
+    // The two rivals behind the same gate: LevelArray's swap-claimed bits
+    // and the generational small network.
+    let arena = NameArena::new(LevelArray::new(4));
+    stress_unique_names(&arena, &sparse_pids(8), 300);
+
+    let arena = NameArena::new(RenewableNet::new(3));
+    stress_unique_names(&arena, &sparse_pids(8), 300);
 }
 
 /// The ci.sh release-mode smoke: a few thousand gated acquire/release

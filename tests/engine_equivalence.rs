@@ -12,9 +12,11 @@
 
 use llr_core::chain::spec as chain_spec;
 use llr_core::filter::spec as filter_spec;
+use llr_core::levelarray::spec as la_spec;
 use llr_core::ma::spec as ma_spec;
 use llr_core::onetime::spec as onetime_spec;
 use llr_core::pf::spec as pf_spec;
+use llr_core::smallnet::spec as net_spec;
 use llr_core::split::spec as split_spec;
 use llr_core::splitter::spec as splitter_spec;
 use llr_core::tournament::spec as tree_spec;
@@ -187,6 +189,39 @@ fn chain_engines_agree() {
         chain_spec::unique_names_invariant,
         Some((163_117, 308_332)),
     );
+}
+
+#[test]
+fn levelarray_engines_agree() {
+    // Swap-based claims finish in 1–2 steps, so these spaces are tiny
+    // compared to the read/write families at the same (k, procs).
+    for (k, pids, sessions, expect) in [
+        (2usize, vec![0u64, 1], 2u8, (49, 84)),
+        (3, vec![2u64, 9, 77], 2, (595, 1_546)),
+        (4, vec![0u64, 1, 2, 3], 1, (521, 1_508)),
+    ] {
+        assert_engines_agree(
+            &format!("LevelArray k={k} pids={pids:?}"),
+            || la_spec::checker(k, &pids, sessions),
+            la_spec::unique_names_invariant,
+            Some(expect),
+        );
+    }
+}
+
+#[test]
+fn smallnet_engines_agree() {
+    for (ell, pids, expect) in [
+        (1usize, vec![0u64, 1], (53, 70)),
+        (2, vec![0u64, 1, 2], (6_583, 14_439)),
+    ] {
+        assert_engines_agree(
+            &format!("small net ℓ={ell} pids={pids:?}"),
+            || net_spec::checker(ell, &pids),
+            net_spec::unique_names_invariant,
+            Some(expect),
+        );
+    }
 }
 
 #[test]

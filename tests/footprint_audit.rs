@@ -14,7 +14,10 @@
 //!   footprints may only shrink, so each old claim must still hold;
 //! * the step performed at most one shared access (the paper's
 //!   atomicity granularity, which the checker's soundness also rests
-//!   on).
+//!   on). A [`Memory::swap`] shows up here as the default read+write
+//!   decomposition on the *same* location — that pair is one atomic
+//!   exchange at the machine's granularity and is admitted as a single
+//!   access, provided both halves hit the same register.
 //!
 //! A deliberately lying spec closes the loop: the audit must catch both
 //! a machine whose *next-step* declaration omits an access and one
@@ -24,7 +27,9 @@ use std::cell::RefCell;
 
 use llr_core::chain::spec as chain_spec;
 use llr_core::filter::spec as filter_spec;
+use llr_core::levelarray::spec as la_spec;
 use llr_core::ma::spec as ma_spec;
+use llr_core::smallnet::spec as net_spec;
 use llr_core::onetime::spec as onetime_spec;
 use llr_core::pf::spec as pf_spec;
 use llr_core::split::spec as split_spec;
@@ -92,7 +97,11 @@ fn audit<M: StepMachine>(
             let rec = RecordingMem::new(&mem);
             let status = machines[i].step(&rec);
             let log = rec.log.into_inner();
-            if log.len() > 1 {
+            // A same-location read+write pair is Memory::swap seen through
+            // its default decomposition: one atomic exchange, not two
+            // accesses.
+            let is_swap = log.len() == 2 && !log[0].0 && log[1].0 && log[0].1 == log[1].1;
+            if log.len() > 1 && !is_swap {
                 return Err(format!(
                     "walk {walk} step {step_no}: machine {i} [{desc}] performed \
                      {} shared accesses in one step",
@@ -186,6 +195,20 @@ fn chain_footprints_honest() {
 #[test]
 fn onetime_footprints_honest() {
     audit_ok("one-time k=3", onetime_spec::checker(3, &[0, 1, 2]), 0xF00D_000B);
+}
+
+#[test]
+fn levelarray_footprints_honest() {
+    // The claim step is a swap: the audit sees its read+write halves and
+    // requires the declared footprint to cover both.
+    audit_ok("LevelArray k=3", la_spec::checker(3, &[2, 9, 77], 2), 0xF00D_000C);
+    audit_ok("LevelArray k=4", la_spec::checker(4, &[0, 1, 2, 3], 1), 0xF00D_000D);
+}
+
+#[test]
+fn smallnet_footprints_honest() {
+    audit_ok("small net ℓ=2", net_spec::checker(2, &[0, 1, 2]), 0xF00D_000E);
+    audit_ok("small net ℓ=3", net_spec::checker(3, &[0, 1, 2, 3]), 0xF00D_000F);
 }
 
 /// A machine whose next-step declaration claims a *read of X* while the

@@ -3,8 +3,10 @@
 
 use llr_core::chain::Chain;
 use llr_core::filter::Filter;
+use llr_core::levelarray::LevelArray;
 use llr_core::ma::MaGrid;
 use llr_core::onetime::OneTimeGrid;
+use llr_core::smallnet::SmallNet;
 use llr_core::split::Split;
 use llr_core::traits::{Renaming, RenamingHandle};
 use llr_gf::FilterParams;
@@ -142,6 +144,57 @@ fn onetime_grid_bounds() {
             assert!(name < g.dest_size());
             assert!(acc <= 4 * k as u64, "k={k}: {acc} accesses");
             assert!(seen.insert(name));
+        }
+    }
+}
+
+/// LevelArray (arXiv:1405.5461): a **linear** name space — halving
+/// levels plus a `k`-bit reserve give `D ≤ 3k + ⌈log₂ k⌉ + 1` — with a
+/// solo acquire of exactly one swap (claim) and one write (release).
+#[test]
+fn levelarray_names_linear_in_k() {
+    for k in 1..=12usize {
+        let la = LevelArray::new(k);
+        let log = (usize::BITS - (k - 1).leading_zeros()) as u64; // ⌈log₂ k⌉
+        assert!(
+            la.dest_size() <= 3 * k as u64 + log + 1,
+            "k={k}: D = {} not O(k)",
+            la.dest_size()
+        );
+        assert!(la.dest_size() >= k as u64, "k={k}: below capacity");
+        // Solo cost is pid-independent: the first swap always claims on
+        // an empty array (2 accesses), the release is 1 write.
+        for pid in [0u64, u64::MAX / 3, u64::MAX - 1] {
+            let mut h = la.handle(pid);
+            let n = h.acquire();
+            assert!(n < la.dest_size());
+            h.release();
+            assert_eq!(h.accesses(), 3, "k={k} pid={pid}");
+        }
+    }
+}
+
+/// Aspnes (arXiv:1011.3170): the depth-`ℓ` network reaches the same
+/// `k(k+1)/2` names as the MA one-time grid with `k` fewer splitters
+/// (`ℓ(ℓ+1)/2` vs `k(k+1)/2`), in at most `4ℓ` accesses.
+#[test]
+fn smallnet_depth_bound() {
+    for ell in 0..=8usize {
+        let net = SmallNet::new(ell);
+        let k = ell as u64 + 1;
+        assert_eq!(net.shape().dest_size(), k * (k + 1) / 2, "ℓ={ell}");
+        // Exactly k fewer splitters than the grid spends for the same D.
+        assert_eq!(
+            net.shape().splitter_count() as u64,
+            k * (k + 1) / 2 - k,
+            "ℓ={ell}"
+        );
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..k {
+            let (name, acc) = net.get_name(i * 77_777 + 5);
+            assert!(name < net.shape().dest_size(), "ℓ={ell}");
+            assert!(acc <= 4 * ell as u64, "ℓ={ell}: {acc} accesses");
+            assert!(seen.insert(name), "ℓ={ell}: duplicate {name}");
         }
     }
 }

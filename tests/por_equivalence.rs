@@ -26,7 +26,9 @@
 
 use llr_core::chain::spec as chain_spec;
 use llr_core::filter::spec as filter_spec;
+use llr_core::levelarray::spec as la_spec;
 use llr_core::ma::spec as ma_spec;
+use llr_core::smallnet::spec as net_spec;
 use llr_core::onetime::spec as onetime_spec;
 use llr_core::pf::spec as pf_spec;
 use llr_core::split::spec as split_spec;
@@ -252,6 +254,31 @@ fn onetime_por_sound() {
             &format!("one-time k={k}"),
             || onetime_spec::checker(k, &pids),
             onetime_spec::unique_names_invariant,
+        );
+    }
+}
+
+#[test]
+fn levelarray_por_sound() {
+    // Hashed start offsets scatter the probe sequences, so different
+    // processes mostly touch different slots — the reduction has real
+    // commuting pairs to exploit even in these tiny worlds.
+    for (k, pids, sessions) in [(2usize, vec![0u64, 1], 2u8), (3, vec![2, 9, 77], 2)] {
+        assert_por_sound(
+            &format!("LevelArray k={k} pids={pids:?}"),
+            || la_spec::checker(k, &pids, sessions),
+            la_spec::unique_names_invariant,
+        );
+    }
+}
+
+#[test]
+fn smallnet_por_sound() {
+    for (ell, pids) in [(1usize, vec![0u64, 1]), (2, vec![0, 1, 2])] {
+        assert_por_sound(
+            &format!("small net ℓ={ell}"),
+            || net_spec::checker(ell, &pids),
+            net_spec::unique_names_invariant,
         );
     }
 }

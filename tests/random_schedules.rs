@@ -8,7 +8,9 @@
 //! failure is reproducible from the constant seeds below.
 
 use llr_core::filter::spec as filter_spec;
+use llr_core::levelarray::spec as la_spec;
 use llr_core::ma::spec as ma_spec;
+use llr_core::smallnet::spec as net_spec;
 use llr_core::split::spec as split_spec;
 use llr_core::split::SplitShape;
 use llr_core::splitter::spec as splitter_spec;
@@ -250,6 +252,21 @@ fn independent_steps_commute() {
             &mut gen,
             200,
         );
+        // Hashed probe starts make most LevelArray slot pairs disjoint —
+        // a swap (read+write of one slot) must still commute with its
+        // independent peers.
+        diamonds += check_diamonds(
+            "LevelArray k=4",
+            &la_spec::checker(4, &[1, 5, 9, 13], 2),
+            &mut gen,
+            200,
+        );
+        diamonds += check_diamonds(
+            "small net ℓ=3",
+            &net_spec::checker(3, &[0, 1, 2, 3]),
+            &mut gen,
+            200,
+        );
     }
     assert!(
         diamonds > 1_000,
@@ -345,18 +362,20 @@ fn crash_differential<P: llr_core::session::ProtocolCore>(
     injected
 }
 
-/// More than 500 independent crash–restart schedules across three
+/// More than 500 independent crash–restart schedules across five
 /// protocol families, each provisioned so live incarnations + crash
 /// ghosts never exceed the protocol's concurrency bound (k = 4 serving
 /// 2 live machines: up to 2 crashes leave at most 4 participants).
 #[test]
 fn crash_schedules_differential() {
     use llr_core::filter::{FilterCore, ReleasePolicy};
+    use llr_core::levelarray::{LevelArrayCore, LevelShape};
     use llr_core::ma::{MaCore, MaShape};
     use llr_core::session::Session;
+    use llr_core::smallnet::{SmallNetCore, SmallNetShape};
     use llr_core::split::SplitCore;
 
-    const SCHEDULES_PER_FAMILY: usize = 176;
+    const SCHEDULES_PER_FAMILY: usize = 110;
     let mut gen = SplitMix64::new(0x5EED_5917_7E55_0007);
     let mut schedules = 0usize;
     let mut crashes = 0usize;
@@ -422,11 +441,81 @@ fn crash_schedules_differential() {
         schedules += 1;
     }
 
+    // LevelArray k = 4, 2 live + 2 spares each: a crash mid-acquire
+    // burns no capacity (failed probes leave no marks); a crash while
+    // Holding leaks the bit, which `crash_robust_uniqueness` accounts as
+    // a claim.
+    let mut layout = Layout::new();
+    let la_shape = LevelShape::build(4, &mut layout);
+    for _ in 0..SCHEDULES_PER_FAMILY {
+        let machines: Vec<_> = [3u64, 9_000]
+            .iter()
+            .map(|&p| {
+                Session::start(LevelArrayCore::new(la_shape.clone(), p), 2).with_spares(vec![
+                    LevelArrayCore::new(la_shape.clone(), p + 20_000),
+                    LevelArrayCore::new(la_shape.clone(), p + 40_000),
+                ])
+            })
+            .collect();
+        crashes += crash_differential("LevelArray k=4", &layout, machines, &mut gen, 200);
+        schedules += 1;
+    }
+
+    // Small network ℓ = 3 (4 entrants), 2 live + 1 spare each: a
+    // restarted incarnation is a *new entrant*, so live + spares must
+    // stay within the network's capacity.
+    let mut layout = Layout::new();
+    let net_shape = SmallNetShape::build(3, &mut layout);
+    for _ in 0..SCHEDULES_PER_FAMILY {
+        let machines: Vec<_> = [0u64, 1]
+            .iter()
+            .map(|&p| {
+                Session::start(SmallNetCore::new(net_shape.clone(), p), 1)
+                    .with_spares(vec![SmallNetCore::new(net_shape.clone(), p + 2)])
+            })
+            .collect();
+        crashes += crash_differential("small net ℓ=3", &layout, machines, &mut gen, 200);
+        schedules += 1;
+    }
+
     assert!(schedules > 500, "only {schedules} schedules ran");
     assert!(
         crashes > schedules / 2,
         "only {crashes} crashes across {schedules} schedules — injection gone vacuous"
     );
+}
+
+/// LevelArray uniqueness at k = 3..=5 with random sparse pids — larger
+/// than the exhaustive configurations, every claim a swap.
+#[test]
+fn levelarray_random_walks() {
+    let mut gen = SplitMix64::new(0x5EED_5917_7E55_0008);
+    for _ in 0..CASES {
+        let k = 3 + gen.next_index(3); // 3..=5
+        let sessions = 1 + gen.next_below(2) as u8; // 1..=2
+        let salt = gen.next_below(1 << 20);
+        let pids: Vec<u64> = (0..k as u64).map(|i| i * 999_999_937 + salt).collect();
+        let seed = gen.next_u64();
+        la_spec::checker(k, &pids, sessions)
+            .random_walks(la_spec::unique_names_invariant, 25, 200_000, seed)
+            .unwrap_or_else(|v| panic!("k={k} sessions={sessions} salt={salt}: {v}"));
+    }
+}
+
+/// Small-network one-shot uniqueness at depths the exhaustive tests
+/// cannot afford, with full and partial occupancy.
+#[test]
+fn smallnet_random_walks() {
+    let mut gen = SplitMix64::new(0x5EED_5917_7E55_0009);
+    for _ in 0..CASES {
+        let ell = 3 + gen.next_index(3); // 3..=5
+        let entrants = 2 + gen.next_index(ell); // 2..=ℓ+1
+        let pids = draw_pids(&mut gen, 64, entrants);
+        let seed = gen.next_u64();
+        net_spec::checker(ell, &pids)
+            .random_walks(net_spec::unique_names_invariant, 25, 200_000, seed)
+            .unwrap_or_else(|v| panic!("ℓ={ell} pids={pids:?}: {v}"));
+    }
 }
 
 /// MA grid uniqueness with 3 processes and random pids.

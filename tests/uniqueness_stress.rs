@@ -2,10 +2,13 @@
 //! real multi-threaded contention, with more registered processes than
 //! active ones and randomized hold times.
 
+use llr_core::arena::NameArena;
 use llr_core::chain::Chain;
 use llr_core::filter::Filter;
 use llr_core::harness::{stress, StressConfig};
+use llr_core::levelarray::LevelArray;
 use llr_core::ma::MaGrid;
+use llr_core::smallnet::RenewableNet;
 use llr_core::split::Split;
 use llr_core::traits::Renaming;
 use llr_gf::FilterParams;
@@ -106,6 +109,46 @@ fn chain_stress_split_ma() {
     let report = stress(&chain, &cfg(pids, 4, 80, 23));
     assert_eq!(report.violations, 0);
     assert!(report.max_name < 10);
+}
+
+#[test]
+fn levelarray_stress_at_full_k() {
+    for k in [2usize, 3, 5, 8] {
+        let la = LevelArray::new(k);
+        let pids: Vec<u64> = (0..k as u64).map(|i| i * 0x9E37_79B9 + 11).collect();
+        let report = stress(&la, &cfg(pids, k, 300, k as u64 + 100));
+        assert_eq!(report.violations, 0, "k={k}");
+        assert!(report.max_name < la.dest_size(), "k={k}");
+    }
+}
+
+#[test]
+fn renewable_net_stress_with_spectators() {
+    // 8 registered processes rotate through the k = 4 entry slots of a
+    // generational small network.
+    let net = RenewableNet::new(3);
+    let pids: Vec<u64> = (0..8u64).map(|i| i * 1_000_003 + 1).collect();
+    let report = stress(&net, &cfg(pids, 4, 150, 31));
+    assert_eq!(report.violations, 0);
+    assert!(report.max_name < net.dest_size());
+}
+
+#[test]
+fn rivals_oversubscribed_through_arena() {
+    // 12 client pids funneled through a k = 4 admission gate onto each
+    // rival: the gate guarantees at most 4 concurrent participants, so
+    // the protocols' own concurrency bounds hold even oversubscribed.
+    let pids: Vec<u64> = (0..12u64).map(|i| i * 999_999_937 + 7).collect();
+
+    let arena = NameArena::new(LevelArray::new(4));
+    let report = stress(&arena, &cfg(pids.clone(), 4, 120, 53));
+    assert_eq!(report.violations, 0, "arena(LevelArray)");
+    assert!(report.max_name < arena.dest_size());
+
+    let arena = NameArena::new(RenewableNet::new(3));
+    let report = stress(&arena, &cfg(pids, 4, 120, 59));
+    assert_eq!(report.violations, 0, "arena(RenewableNet)");
+    assert!(report.max_name < arena.dest_size());
 }
 
 #[test]
