@@ -15,11 +15,19 @@
 #      pinning the counts byte-for-byte — one family per protocol,
 #      including the rival cores (LevelArray, small splitter networks).
 #      This is the checker hot path; run it in release so it stays fast.
-#   5. POR soundness subset: the partial-order-reduction differential
+#   5. frontier-spill gate: the on-disk frontier's file-format property
+#      suite (round-trips, loud failure on truncated/torn layer files)
+#      and the disk-CSR liveness differential (every E2 family spill vs
+#      in-RAM, trap reports, and the under-budget regression whose edge
+#      list alone exceeds the byte budget). Small configs under tight
+#      tmpdir budgets, including the zero-budget floor — fast in
+#      release, but exactly the code that guards the multi-million-state
+#      E2 rows.
+#   6. POR soundness subset: the partial-order-reduction differential
 #      suite (reduced vs full verdicts/terminals on every family, all
 #      backends) and the footprint audit (declared footprints must
 #      cover recorded accesses), also in release.
-#   6. real-atomics arena gate: the SimMemory-vs-AtomicMemory
+#   7. real-atomics arena gate: the SimMemory-vs-AtomicMemory
 #      differential suite plus the multi-threaded stress tests in
 #      release — including `arena_smoke`, a few thousand
 #      uniqueness-checked acquire/release ops at 4 threads through the
@@ -27,7 +35,7 @@
 #      release-ordered stores). Release mode matters here: optimized
 #      code paths plus real thread timing is where a wrong memory
 #      ordering would actually surface.
-#   7. crash/churn gate: the fault-injection sweeps (freeze and
+#   8. crash/churn gate: the fault-injection sweeps (freeze and
 #      crash–restart at every stall point, all ten protocol cores)
 #      and the arena churn battery (armed clients panicking mid-acquire
 #      under a 4-permit gate, 100 seeded rounds, zero leaked permits).
@@ -52,6 +60,9 @@ cargo test -q --offline --doc --workspace
 
 echo "== fast E2 subset (engine equivalence, release) =="
 cargo test -q --offline --release --test engine_equivalence
+
+echo "== frontier-spill gate (layer format + disk-CSR liveness, release) =="
+cargo test -q --offline --release --test frontier_format --test liveness_spill
 
 echo "== POR soundness subset (differential + footprint audit, release) =="
 cargo test -q --offline --release --test por_equivalence --test footprint_audit

@@ -11,6 +11,7 @@
 
 mod common;
 mod e1_split;
+mod e2_frontier;
 mod e2_modelcheck;
 mod e3_filter;
 mod e4_regimes;
@@ -26,6 +27,7 @@ mod histogram;
 const ALL: &[(&str, &str, fn())] = &[
     ("e1", "SPLIT: D = 3^(k-1), O(k) accesses (Theorem 2)", e1_split::run),
     ("e2", "exhaustive model checking of all building blocks", e2_modelcheck::run),
+    ("e2f", "frontier rows: fixed-budget disk-frontier runs past the in-RAM ceiling", e2_frontier::run),
     ("e3", "FILTER: D = 2zd(k-1), O(dk log S) accesses (Theorem 10)", e3_filter::run),
     ("e4", "the Section 4.4 parameter-regime table", e4_regimes::run),
     ("e5", "Theorem 11 chain to k(k+1)/2 names in O(k³)", e5_chain::run),

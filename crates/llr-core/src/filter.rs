@@ -346,6 +346,15 @@ impl FilterAcquire {
         self.metrics
     }
 
+    /// Whether the next step is a check (the only acquire step that can
+    /// *confirm* an ME block: a successful check promotes the entered
+    /// level to confirmed-won, growing [`spec::FilterUser::won_blocks`]).
+    /// Entry steps only push *entered* levels, which stay unconfirmed
+    /// until checked, so they never change the won set.
+    pub fn is_checking(&self) -> bool {
+        matches!(self.mode, Mode::Checking)
+    }
+
     /// The acquired name's index in the name set, once complete.
     pub fn acquired_index(&self) -> Option<usize> {
         self.acquired
@@ -573,6 +582,16 @@ impl FilterRelease {
         true
     }
 
+    /// Whether any tree still has entered levels — i.e. whether the next
+    /// step pops a block (shrinking
+    /// [`spec::FilterUser::won_blocks`]) rather than completing with no
+    /// access.
+    pub fn has_entered(&self) -> bool {
+        self.pos.progress[self.tree_idx..]
+            .iter()
+            .any(|p| p.entered_level() > 0)
+    }
+
     /// Adds every register the rest of this `ReleaseName` may touch — the
     /// process's own side of each still-entered block — to `fp`'s future
     /// sets.
@@ -686,12 +705,32 @@ pub struct FilterCore {
     shape: FilterShape,
     pid: Pid,
     policy: ReleasePolicy,
+    observe_blocks: bool,
 }
 
 impl FilterCore {
     /// A core for registered process `pid` under `policy`.
     pub fn new(shape: FilterShape, pid: Pid, policy: ReleasePolicy) -> Self {
-        Self { shape, pid, policy }
+        Self {
+            shape,
+            pid,
+            policy,
+            observe_blocks: false,
+        }
+    }
+
+    /// Promotes the set of *confirmed-won ME blocks*
+    /// ([`spec::FilterUser::won_blocks`]) into the partial-order
+    /// reduction's visibility contract: every step that can change it — a
+    /// check (which may confirm a block) or a releasing pop — is declared
+    /// visible, so block-level invariants like
+    /// [`spec::block_exclusion_invariant`] stay sound under
+    /// `Engine::Reduced`. Off by default: the extra visible steps shrink
+    /// the reduction, so name-only invariants should leave this off
+    /// (and keep the seed's reduced state counts).
+    pub fn observe_blocks(mut self, on: bool) -> Self {
+        self.observe_blocks = on;
+        self
     }
 
     /// The FILTER shape.
@@ -748,11 +787,23 @@ impl ProtocolCore for FilterCore {
     }
 
     fn acquire_footprint(&self, a: &FilterAcquire, fp: &mut Footprint) -> bool {
-        a.footprint(fp)
+        let may_complete = a.footprint(fp);
+        // A check may succeed and confirm an ME block, changing
+        // `won_blocks`; entry steps only push unconfirmed levels.
+        if self.observe_blocks && a.is_checking() {
+            fp.set_visible();
+        }
+        may_complete
     }
 
     fn release_footprint(&self, r: &FilterRelease, fp: &mut Footprint) -> bool {
-        r.footprint(fp)
+        let may_complete = r.footprint(fp);
+        // Every pop removes a block from `won_blocks`; a release with
+        // nothing entered completes without touching the won set.
+        if self.observe_blocks && r.has_entered() {
+            fp.set_visible();
+        }
+        may_complete
     }
 
     fn future_footprint(&self, fp: &mut Footprint) {
@@ -942,6 +993,34 @@ pub mod spec {
         let machines: Vec<FilterUser> = participants
             .iter()
             .map(|&p| FilterUser::with_policy(shape.clone(), p, sessions, policy))
+            .collect();
+        ModelChecker::new(layout, machines)
+    }
+
+    /// Builds the model checker with [`FilterCore::observe_blocks`]
+    /// enabled, so the block-level invariants
+    /// ([`block_exclusion_invariant`], [`combined_invariant`]) are sound
+    /// under `Engine::Reduced`: every step that can change a machine's
+    /// confirmed-won block set is declared visible to the reduction.
+    /// The full (unreduced) state graph is identical to [`checker`]'s —
+    /// the flag only affects footprints, not stepping or keys.
+    pub fn blocks_observable_checker(
+        params: FilterParams,
+        participants: &[Pid],
+        sessions: u8,
+    ) -> ModelChecker<FilterUser> {
+        let mut layout = Layout::new();
+        let shape = FilterShape::build(params, participants, &mut layout)
+            .expect("valid participants");
+        let machines: Vec<FilterUser> = participants
+            .iter()
+            .map(|&p| {
+                Session::start(
+                    FilterCore::new(shape.clone(), p, ReleasePolicy::default())
+                        .observe_blocks(true),
+                    sessions,
+                )
+            })
             .collect();
         ModelChecker::new(layout, machines)
     }

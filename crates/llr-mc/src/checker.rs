@@ -129,6 +129,11 @@ pub enum CheckError {
     StateLimit {
         /// The configured maximum number of states.
         limit: usize,
+        /// Statistics gathered up to the bound — the explored prefix is a
+        /// genuine (if partial) search, so `states`, `transitions` and
+        /// `peak_resident_bytes` document the depth reached under the
+        /// configured budget.
+        stats: CheckStats,
     },
     /// The spilling visited set ([`ModelChecker::spill_dir`]) hit an I/O
     /// error; the exploration is incomplete and nothing was proven.
@@ -139,7 +144,7 @@ impl fmt::Display for CheckError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CheckError::Violation(v) => write!(f, "{v}"),
-            CheckError::StateLimit { limit } => {
+            CheckError::StateLimit { limit, .. } => {
                 write!(f, "state limit of {limit} states exceeded")
             }
             CheckError::Io(e) => write!(f, "spill I/O error: {e}"),
@@ -165,7 +170,7 @@ impl CheckError {
     pub fn unwrap_violation(self) -> Box<Violation> {
         match self {
             CheckError::Violation(v) => v,
-            CheckError::StateLimit { limit } => {
+            CheckError::StateLimit { limit, .. } => {
                 panic!("expected a violation but hit the state limit ({limit})")
             }
             CheckError::Io(e) => panic!("expected a violation but hit an I/O error: {e}"),
@@ -488,14 +493,27 @@ impl<M: StepMachine> ModelChecker<M> {
     /// ceiling moves. A unique subdirectory is created under `dir` and
     /// removed when the exploration finishes.
     ///
-    /// The budget governs the visited-set delta (the structure that
-    /// grows with *total* states); the current BFS frontier and the
-    /// spanning-tree parents remain in RAM and are reported via
-    /// [`CheckStats::peak_resident_bytes`].
+    /// `budget_bytes` is **one budget for every disk-backed structure**
+    /// of the run: half of it bounds the visited-set delta (floored at
+    /// the 64 KiB flush granularity) and a quarter bounds the frontier
+    /// read window — the BFS frontier itself lives in per-layer files
+    /// (the [`frontier`](crate::frontier) module) and is expanded one
+    /// bounded chunk at a time, and the spanning-tree parents live in an
+    /// append-only log walked from disk when a schedule is needed. What
+    /// stays in RAM and is *accounted but not bounded* by the budget:
+    /// the per-layer pending set (≈48 bytes per candidate, proportional
+    /// to one layer's discoveries, one to two orders of magnitude below
+    /// the retired per-state frontier payload) and the per-slot machine
+    /// intern pool (proportional to slot-local machine diversity, not to
+    /// states). [`CheckStats::peak_resident_bytes`] reports the
+    /// deterministic per-layer peak over all of these.
     ///
-    /// Ignored by [`check`](Self::check) (sequential DFS) and by
-    /// [`check_always_terminable`](Self::check_always_terminable), which
-    /// needs the full edge list in RAM anyway.
+    /// Ignored by [`check`](Self::check) (sequential DFS). For
+    /// [`check_always_terminable`](Self::check_always_terminable) the
+    /// forward pass streams the edge list to disk and the backward
+    /// marking runs over an on-disk reversed-edge CSR whose build window
+    /// gets the same quarter-budget, instead of holding the flat edge
+    /// vectors in RAM.
     ///
     /// # Example
     ///
@@ -795,6 +813,7 @@ impl<M: StepMachine> ModelChecker<M> {
             if stats.states as usize > self.max_states {
                 return Err(CheckError::StateLimit {
                     limit: self.max_states,
+                    stats,
                 });
             }
 

@@ -53,14 +53,18 @@ pub enum Engine {
         /// Store 128-bit state hashes instead of exact packed keys.
         hashed: bool,
     },
-    /// Parallel BFS with the external-memory visited set
-    /// ([`ModelChecker::spill_dir`]): only `budget_bytes` of
-    /// not-yet-flushed hashes stay in RAM, the rest lives in sorted runs
-    /// on disk.
+    /// Parallel BFS with the external-memory visited set **and** the
+    /// on-disk frontier ([`ModelChecker::spill_dir`]): `budget_bytes`
+    /// bounds total resident bytes under one budget — half goes to the
+    /// not-yet-flushed visited delta (the rest lives in sorted runs on
+    /// disk), a quarter to the frontier read window (layers stream
+    /// through per-layer files, see [`crate::frontier`]), and for
+    /// liveness checks a quarter to the reversed-edge CSR build window.
     Spill {
-        /// Directory for the sorted run files.
+        /// Directory for the run, layer, and edge files.
         dir: PathBuf,
-        /// In-RAM delta budget in bytes.
+        /// Total resident-byte budget (visited delta + frontier window
+        /// + CSR window share it; each slice is floored at 64 KiB).
         budget_bytes: usize,
         /// Worker threads; `0` means one per core.
         workers: usize,

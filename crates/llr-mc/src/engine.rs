@@ -148,6 +148,21 @@ pub(crate) struct WorkerOut<M> {
     pub(crate) reduced: Vec<(u32, u8, u128)>,
 }
 
+/// Where the recorded transition pairs ended up.
+pub(crate) enum EdgeStore {
+    /// The full `(from, to)` list in RAM — the default, and always the
+    /// variant when edge recording was off (then the list is empty).
+    Ram(Vec<(u32, u32)>),
+    /// Streamed to an append-only [`EdgeLog`](crate::frontier::EdgeLog)
+    /// file because a spill budget is configured; the scratch guard
+    /// keeps the file alive until the consumer is done.
+    Disk {
+        guard: crate::frontier::ScratchDir,
+        path: std::path::PathBuf,
+        count: u64,
+    },
+}
+
 /// The engine's result: exploration stats plus the spanning-tree parent
 /// pointers (always) and the full edge list (when requested).
 pub(crate) struct Explored {
@@ -158,7 +173,7 @@ pub(crate) struct Explored {
     /// `terminal[id]` iff every machine is done in state `id`.
     pub terminal: Vec<bool>,
     /// All `(from, to)` transition pairs — empty unless `record_edges`.
-    pub edges: Vec<(u32, u32)>,
+    pub edges: EdgeStore,
 }
 
 /// Reconstructs the schedule reaching `id` by walking parent pointers.
@@ -194,7 +209,7 @@ fn step_state<M, K, L>(
     symmetry: bool,
     record_edges: bool,
     frozen_find: &L,
-    w: usize,
+    wid: u32,
     out: &mut WorkerOut<M>,
 ) -> (bool, u128)
 where
@@ -257,7 +272,7 @@ where
                 g.insert(
                     K::make(kbuf, h),
                     Pend {
-                        worker: w as u32,
+                        worker: wid,
                         idx,
                         parent: st.id,
                         via,
@@ -271,7 +286,7 @@ where
                     done,
                     id: u32::MAX,
                 }));
-                (w as u32, idx)
+                (wid, idx)
             }
         }
     };
@@ -301,6 +316,15 @@ where
 /// test over its in-RAM delta); unknown successors are materialized and
 /// min-merged into the `pending` shards.
 ///
+/// `worker_base` offsets the worker ids recorded in [`Pend`] (and in
+/// [`EdgeTo::Fresh`]): the in-RAM engine expands whole layers at once and
+/// passes `0`, while the spill backend expands one bounded chunk of the
+/// on-disk layer at a time against a *layer-persistent* pending set, so
+/// each chunk's workers need globally unique ids for the join to find
+/// their materializations. The `frontier index` in [`WorkerOut::reduced`]
+/// stays relative to the `frontier` slice passed in; chunked callers add
+/// their chunk base.
+///
 /// With `crash_loc = Some(loc)` a fault budget lives in register `loc`:
 /// while a state's budget is positive, partial-order reduction is
 /// bypassed for that state (a crash may preempt *any* step, so no
@@ -322,6 +346,7 @@ pub(crate) fn expand_layer<M, K, L>(
     por: bool,
     record_reduced: bool,
     crash_loc: Option<Loc>,
+    worker_base: u32,
     frozen_find: &L,
 ) -> Vec<WorkerOut<M>>
 where
@@ -335,6 +360,7 @@ where
         let handles: Vec<_> = (0..nw)
             .map(|w| {
                 s.spawn(move || {
+                    let wid = worker_base + w as u32;
                     // ceil-division chunking can leave trailing workers
                     // with an empty (clamped) range.
                     let lo = (w * chunk).min(frontier.len());
@@ -362,7 +388,7 @@ where
                             if let Some(a) = ample.choose(&st.machines, &st.done) {
                                 let (frozen, h) = step_state(
                                     st, a, None, &wmem, &mut kb, pending, symmetry,
-                                    record_edges, frozen_find, w, &mut out,
+                                    record_edges, frozen_find, wid, &mut out,
                                 );
                                 if frozen {
                                     // Cycle proviso: fall back to full
@@ -373,7 +399,7 @@ where
                                             step_state(
                                                 st, j, None, &wmem, &mut kb,
                                                 pending, symmetry, record_edges,
-                                                frozen_find, w, &mut out,
+                                                frozen_find, wid, &mut out,
                                             );
                                         }
                                     }
@@ -387,7 +413,7 @@ where
                             if !st.done[i] {
                                 step_state(
                                     st, i, None, &wmem, &mut kb, pending, symmetry,
-                                    record_edges, frozen_find, w, &mut out,
+                                    record_edges, frozen_find, wid, &mut out,
                                 );
                             }
                         }
@@ -398,7 +424,7 @@ where
                                     step_state(
                                         st, i, Some((loc, budget - 1)), &wmem,
                                         &mut kb, pending, symmetry, record_edges,
-                                        frozen_find, w, &mut out,
+                                        frozen_find, wid, &mut out,
                                     );
                                 }
                             }
@@ -463,6 +489,18 @@ where
     let mut parent: Vec<(u32, u8)> = vec![(u32::MAX, 0)];
     let mut terminal: Vec<bool> = Vec::new();
     let mut edges: Vec<(u32, u32)> = Vec::new();
+    // With a spill budget configured, the edge list — the only forward
+    // structure that grows with *transitions* rather than states — is
+    // streamed to an append-only log instead of accumulating in RAM.
+    let mut edge_disk: Option<(crate::frontier::ScratchDir, crate::frontier::EdgeLog)> =
+        match (record_edges, mc.spill_config()) {
+            (true, Some(cfg)) => {
+                let guard = crate::frontier::ScratchDir::create(&cfg.dir)?;
+                let log = crate::frontier::EdgeLog::create(guard.path().join("edges.log"))?;
+                Some((guard, log))
+            }
+            _ => None,
+        };
     // Running payload bytes of the frozen visited set.
     let mut visited_bytes: u64 = 0;
 
@@ -521,6 +559,7 @@ where
             mc.por_on(),
             false,
             mc.crash_loc(),
+            0,
             &find,
         );
 
@@ -550,6 +589,7 @@ where
             if stats.states as usize > mc.state_limit() {
                 return Err(CheckError::StateLimit {
                     limit: mc.state_limit(),
+                    stats,
                 });
             }
             visited_bytes += k.bytes() + 4;
@@ -585,16 +625,6 @@ where
             next_frontier.push(st);
         }
 
-        // Deterministic per-layer resident footprint: visited set, the
-        // expanded frontier plus every state materialized this layer,
-        // the pending-map entries, and the spanning-tree arrays.
-        let resident = visited_bytes
-            + (frontier.len() + materialized) as u64 * per_state
-            + fresh_n * PEND_OVERHEAD_BYTES
-            + parent.len() as u64 * 8
-            + terminal.len() as u64;
-        stats.peak_resident_bytes = stats.peak_resident_bytes.max(resident);
-
         if record_edges {
             for out in &outs {
                 for (from, to) in &out.edges {
@@ -602,10 +632,25 @@ where
                         EdgeTo::Known(id) => id,
                         EdgeTo::Fresh(w2, idx2) => assigned[w2 as usize][idx2 as usize],
                     };
-                    edges.push((*from, to_id));
+                    match &mut edge_disk {
+                        Some((_, log)) => log.push(*from, to_id)?,
+                        None => edges.push((*from, to_id)),
+                    }
                 }
             }
         }
+
+        // Deterministic per-layer resident footprint: visited set, the
+        // expanded frontier plus every state materialized this layer,
+        // the pending-map entries, the spanning-tree arrays, and — when
+        // it accumulates in RAM — the recorded edge list.
+        let resident = visited_bytes
+            + (frontier.len() + materialized) as u64 * per_state
+            + fresh_n * PEND_OVERHEAD_BYTES
+            + parent.len() as u64 * 8
+            + terminal.len() as u64
+            + edges.len() as u64 * 8;
+        stats.peak_resident_bytes = stats.peak_resident_bytes.max(resident);
 
         if !next_frontier.is_empty() {
             stats.max_depth += 1;
@@ -613,6 +658,14 @@ where
         frontier = next_frontier;
     }
 
+    let edges = match edge_disk {
+        Some((guard, log)) => {
+            let (path, count) = log.finish()?;
+            stats.spilled_bytes += count * 8;
+            EdgeStore::Disk { guard, path, count }
+        }
+        None => EdgeStore::Ram(edges),
+    };
     Ok(Explored {
         stats,
         parent,

@@ -77,17 +77,18 @@
 //! Three interchangeable exploration backends, all visiting the same
 //! states and reporting identical counts and violations:
 //!
-//! | backend | selected by | visited set |
-//! |---|---|---|
-//! | sequential DFS | [`ModelChecker::check`] | in RAM, exact or hashed keys |
-//! | parallel BFS | [`ModelChecker::check_parallel`] | in RAM, sharded |
-//! | external-memory BFS | `check_parallel` + [`ModelChecker::spill_dir`] | bounded in-RAM delta + sorted runs on disk |
+//! | backend | selected by | visited set | frontier |
+//! |---|---|---|---|
+//! | sequential DFS | [`ModelChecker::check`] | in RAM, exact or hashed keys | explicit stack |
+//! | parallel BFS | [`ModelChecker::check_parallel`] | in RAM, sharded | in RAM |
+//! | external-memory BFS | `check_parallel` + [`ModelChecker::spill_dir`] | bounded in-RAM delta + sorted runs on disk | per-layer files on disk ([`frontier`]) |
 
 #![warn(missing_docs)]
 
 mod checker;
 mod drive;
 mod engine;
+pub mod frontier;
 mod liveness;
 mod machine;
 mod por;

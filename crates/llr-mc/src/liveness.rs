@@ -20,11 +20,22 @@
 //! reversed edges are packed into a CSR adjacency (one offset array, one
 //! flat predecessor array — no per-state `Vec`s), and each backward
 //! layer is swept concurrently with atomic-swap claiming so every state
-//! is enqueued exactly once. Edges are stored as flat `u32` index pairs;
-//! the configurations we check have up to a few million states.
+//! is enqueued exactly once. Edges are stored as flat `u32` index pairs.
+//!
+//! With [`ModelChecker::spill_dir`] configured, the structure that grows
+//! with *edges* moves to disk: the forward pass streams `(from, to)`
+//! pairs to an append-only log instead of an in-RAM `Vec`, the reversed
+//! CSR's flat predecessor array is built on disk by an external counting
+//! sort whose working buffer is bounded by a quarter of the configured
+//! budget ([`crate::frontier::DiskCsr`]), and each backward-marking
+//! worker reads predecessor runs through its own file handle. Only the
+//! `8(n + 1)`-byte offset array — linear in states, not edges — stays in
+//! RAM, and the reported verdict, trap state and schedule are identical
+//! to the in-RAM path (`tests/liveness_spill.rs` pins this on every E2
+//! family).
 
 use crate::checker::{CheckError, CheckStats, ModelChecker, Violation};
-use crate::engine::{explore, schedule_to};
+use crate::engine::{explore, schedule_to, EdgeStore};
 use crate::StepMachine;
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -37,6 +48,13 @@ pub struct LivenessStats {
     pub edges: u64,
     /// Terminal states (all machines done).
     pub terminal_states: u64,
+    /// Deterministic peak payload bytes across the forward exploration
+    /// and the backward marking (including the in-RAM edge list / CSR,
+    /// or only the offset array and bounded windows when spilling).
+    pub peak_resident_bytes: u64,
+    /// Bytes written to disk (edge log + predecessor file); `0` on the
+    /// all-in-RAM path.
+    pub spilled_bytes: u64,
 }
 
 impl std::fmt::Display for LivenessStats {
@@ -101,7 +119,9 @@ impl<M: StepMachine + Send + Sync> ModelChecker<M> {
     pub fn check_always_terminable(&self) -> Result<LivenessStats, CheckError> {
         let workers = self.resolved_workers();
         let ok = |_: &crate::World<'_, M>| Ok(());
-        let explored = if self.hashed() {
+        // With a spill budget the edge log lives on disk anyway, so the
+        // memory-lean hashed dedup is the only sensible forward pairing.
+        let explored = if self.hashed() || self.spill_config().is_some() {
             explore::<M, _, u128>(self, &ok, workers, true)?
         } else {
             explore::<M, _, Box<[u64]>>(self, &ok, workers, true)?
@@ -109,28 +129,15 @@ impl<M: StepMachine + Send + Sync> ModelChecker<M> {
 
         // Backward marking from terminal states over reversed edges,
         // layer-parallel like the forward pass. The reversed graph is
-        // packed into CSR form (offset + flat predecessor arrays), then
-        // each backward layer is swept over the worker pool: a worker
-        // claims an unmarked predecessor with an atomic swap, so every
-        // state enters the next frontier exactly once. The *set* marked
-        // per layer is schedule-independent, hence the first unmarked id
-        // (the reported trap) is deterministic for every worker count.
+        // packed into CSR form (offset + flat predecessor arrays — on
+        // disk when spilling), then each backward layer is swept over
+        // the worker pool: a worker claims an unmarked predecessor with
+        // an atomic swap, so every state enters the next frontier
+        // exactly once. The *set* marked per layer is
+        // schedule-independent, hence the first unmarked id (the
+        // reported trap) is deterministic for every worker count — and
+        // for both CSR representations.
         let n = explored.stats.states as usize;
-        let mut off: Vec<u32> = vec![0; n + 1];
-        for &(_, to) in &explored.edges {
-            off[to as usize + 1] += 1;
-        }
-        for i in 0..n {
-            off[i + 1] += off[i];
-        }
-        let mut cursor = off.clone();
-        let mut preds: Vec<u32> = vec![0; explored.edges.len()];
-        for &(from, to) in &explored.edges {
-            let c = &mut cursor[to as usize];
-            preds[*c as usize] = from;
-            *c += 1;
-        }
-
         let can_finish: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
         let mut frontier: Vec<u32> = (0..n as u32)
             .filter(|&i| explored.terminal[i as usize])
@@ -139,41 +146,132 @@ impl<M: StepMachine + Send + Sync> ModelChecker<M> {
         for &t in &frontier {
             can_finish[t as usize].store(true, Ordering::Relaxed);
         }
-        while !frontier.is_empty() {
-            let nw = workers.clamp(1, frontier.len());
-            let chunk = frontier.len().div_ceil(nw);
-            let frontier_ref = &frontier;
-            let can_finish_ref = &can_finish;
-            let off_ref = &off;
-            let preds_ref = &preds;
-            frontier = std::thread::scope(|s| {
-                let handles: Vec<_> = (0..nw)
-                    .map(|w| {
-                        s.spawn(move || {
-                            let lo = (w * chunk).min(frontier_ref.len());
-                            let hi = (lo + chunk).min(frontier_ref.len());
-                            let mut next = Vec::new();
-                            for &st in &frontier_ref[lo..hi] {
-                                let (a, b) =
-                                    (off_ref[st as usize], off_ref[st as usize + 1]);
-                                for &p in &preds_ref[a as usize..b as usize] {
-                                    if !can_finish_ref[p as usize]
-                                        .swap(true, Ordering::Relaxed)
-                                    {
-                                        next.push(p);
+        let mut peak = explored.stats.peak_resident_bytes;
+        let mut spilled = explored.stats.spilled_bytes;
+        let mut width_peak: u64 = frontier.len() as u64;
+
+        match &explored.edges {
+            EdgeStore::Ram(edge_list) => {
+                let mut off: Vec<u32> = vec![0; n + 1];
+                for &(_, to) in edge_list {
+                    off[to as usize + 1] += 1;
+                }
+                for i in 0..n {
+                    off[i + 1] += off[i];
+                }
+                let mut cursor = off.clone();
+                let mut preds: Vec<u32> = vec![0; edge_list.len()];
+                for &(from, to) in edge_list {
+                    let c = &mut cursor[to as usize];
+                    preds[*c as usize] = from;
+                    *c += 1;
+                }
+                // CSR build holds offsets, cursors, the predecessor
+                // array and the still-live edge list at once.
+                peak = peak.max(
+                    8 * (n as u64 + 1) + 12 * edge_list.len() as u64 + n as u64,
+                );
+
+                while !frontier.is_empty() {
+                    width_peak = width_peak.max(frontier.len() as u64);
+                    let nw = workers.clamp(1, frontier.len());
+                    let chunk = frontier.len().div_ceil(nw);
+                    let frontier_ref = &frontier;
+                    let can_finish_ref = &can_finish;
+                    let off_ref = &off;
+                    let preds_ref = &preds;
+                    frontier = std::thread::scope(|s| {
+                        let handles: Vec<_> = (0..nw)
+                            .map(|w| {
+                                s.spawn(move || {
+                                    let lo = (w * chunk).min(frontier_ref.len());
+                                    let hi = (lo + chunk).min(frontier_ref.len());
+                                    let mut next = Vec::new();
+                                    for &st in &frontier_ref[lo..hi] {
+                                        let (a, b) =
+                                            (off_ref[st as usize], off_ref[st as usize + 1]);
+                                        for &p in &preds_ref[a as usize..b as usize] {
+                                            if !can_finish_ref[p as usize]
+                                                .swap(true, Ordering::Relaxed)
+                                            {
+                                                next.push(p);
+                                            }
+                                        }
                                     }
-                                }
-                            }
-                            next
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("a liveness worker panicked"))
-                    .collect()
-            });
+                                    next
+                                })
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .flat_map(|h| h.join().expect("a liveness worker panicked"))
+                            .collect()
+                    });
+                }
+            }
+            EdgeStore::Disk { guard, path, count } => {
+                let budget = self
+                    .spill_config()
+                    .map_or(0, |c| c.budget_bytes);
+                let window = (budget / 4).max(64 * 1024);
+                let csr = crate::frontier::DiskCsr::build(
+                    path,
+                    *count,
+                    n,
+                    window,
+                    guard.path().join("preds.csr"),
+                )?;
+                spilled += *count * 4;
+                peak = peak.max(8 * (n as u64 + 1) + csr.build_window_bytes + n as u64);
+
+                let csr_ref = &csr;
+                let can_finish_ref = &can_finish;
+                while !frontier.is_empty() {
+                    width_peak = width_peak.max(frontier.len() as u64);
+                    let nw = workers.clamp(1, frontier.len());
+                    let chunk = frontier.len().div_ceil(nw);
+                    let frontier_ref = &frontier;
+                    let joined: std::io::Result<Vec<u32>> = std::thread::scope(|s| {
+                        let handles: Vec<_> = (0..nw)
+                            .map(|w| {
+                                s.spawn(move || -> std::io::Result<Vec<u32>> {
+                                    let lo = (w * chunk).min(frontier_ref.len());
+                                    let hi = (lo + chunk).min(frontier_ref.len());
+                                    let mut next = Vec::new();
+                                    // One independent file handle per
+                                    // worker; runs are read in bounded
+                                    // sub-chunks.
+                                    let mut r = csr_ref.reader()?;
+                                    for &st in &frontier_ref[lo..hi] {
+                                        r.for_each(
+                                            csr_ref.off[st as usize],
+                                            csr_ref.off[st as usize + 1],
+                                            |p| {
+                                                if !can_finish_ref[p as usize]
+                                                    .swap(true, Ordering::Relaxed)
+                                                {
+                                                    next.push(p);
+                                                }
+                                            },
+                                        )?;
+                                    }
+                                    Ok(next)
+                                })
+                            })
+                            .collect();
+                        let mut all = Vec::new();
+                        for h in handles {
+                            all.extend(h.join().expect("a liveness worker panicked")?);
+                        }
+                        Ok(all)
+                    });
+                    frontier = joined?;
+                }
+            }
         }
+        // The marking frontiers themselves (current + next, 4 bytes per
+        // entry, bounded by the widest marked layer).
+        peak = peak.max(8 * (n as u64 + 1) + n as u64 + 8 * width_peak);
 
         if let Some(trap) = (0..n).find(|&i| !can_finish[i].load(Ordering::Relaxed)) {
             // Reconstruct the schedule into the trap via the engine's
@@ -191,7 +289,8 @@ impl<M: StepMachine + Send + Sync> ModelChecker<M> {
                     transitions: explored.stats.transitions,
                     max_depth: explored.stats.max_depth,
                     terminal_states: terminal_count,
-                    ..explored.stats
+                    peak_resident_bytes: peak,
+                    spilled_bytes: spilled,
                 },
             })));
         }
@@ -200,6 +299,8 @@ impl<M: StepMachine + Send + Sync> ModelChecker<M> {
             states: n as u64,
             edges: explored.stats.transitions,
             terminal_states: terminal_count,
+            peak_resident_bytes: peak,
+            spilled_bytes: spilled,
         })
     }
 }

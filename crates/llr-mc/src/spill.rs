@@ -1,9 +1,11 @@
-//! External-memory exploration: a spill-to-disk visited set.
+//! External-memory exploration: a spill-to-disk visited set **and** a
+//! spill-to-disk frontier.
 //!
 //! The in-RAM frontier engine ([`crate::engine`]) holds every visited
-//! state hash in a sharded map for the whole run, so its ceiling is the
-//! host's memory. This backend lifts that ceiling with the classic
-//! external-BFS discipline — **sorted runs + per-layer merge joins** —
+//! state hash in a sharded map and every frontier state fully
+//! materialized, so its ceiling is the host's memory — first through the
+//! visited set (grows with *total* states), then through the frontier
+//! (grows with the *widest layer*). This backend lifts both ceilings
 //! while preserving the engine's exact counts and deterministic
 //! violation schedules bit-for-bit:
 //!
@@ -14,58 +16,84 @@
 //!   `HashSet` per shard). Workers consult only this delta during layer
 //!   expansion — never the disk — so the concurrent phase stays
 //!   lock-free on the read side and does zero I/O.
-//! * When the delta exceeds the configured budget it is **flushed**:
-//!   each shard's hashes are sorted and appended as one immutable run
-//!   file. A shard accumulating too many runs is **compacted** by a
-//!   streaming k-way merge into a single run.
+//! * When the delta exceeds its budget half it is **flushed**: each
+//!   shard's hashes are sorted and appended as one immutable run file. A
+//!   shard accumulating too many runs is **compacted** by a streaming
+//!   k-way merge into a single run.
 //! * A state rediscovered after its hash was flushed is caught one layer
 //!   later: each layer's candidate states (the pending set, minus the
 //!   delta) are sorted per shard and **merge-joined against every run**
 //!   in one sequential pass per run file; candidates found on disk are
 //!   dropped before ids are assigned.
+//! * The **frontier lives in per-layer files** ([`crate::frontier`]):
+//!   each layer is an append-only file of fixed-size records (state id,
+//!   per-slot done flags and machine intern ids, register-file
+//!   snapshot), written in id order — which *is* `(parent, via)` order —
+//!   so writes are streaming. Expansion reads the layer back as a
+//!   bounded-buffer sequential scan: one chunk of at most a
+//!   quarter-budget's worth of materialized states at a time, expanded
+//!   by [`expand_layer`] against the **layer-persistent** pending set
+//!   (chunk workers get globally unique ids via `worker_base`).
+//!   Successors are streamed to a per-layer *candidate* file the same
+//!   way and re-read by ordinal at the join. Machine structs are
+//!   interned per slot, so records store a `u32` per machine.
+//! * The spanning-tree parents go to an append-only **parent log** (5
+//!   bytes per state); violation schedules are reconstructed by walking
+//!   the log backwards with point reads.
 //!
-//! Because the drop set is a pure membership fact, the surviving states,
-//! their `(parent, via)` id order, the invariant-check order and hence
+//! Because the drop set is a pure membership fact and chunking changes
+//! only *which worker* first materializes a state (the min-merged
+//! `(parent, via)` edge and the drain order do not change), the
+//! surviving states, their id order, the invariant-check order and hence
 //! the first reported violation are identical to the in-RAM engines at
 //! every worker count and every budget — `tests/engine_equivalence.rs`
 //! pins this, including with a zero budget that forces runs out
-//! mid-layer.
+//! mid-layer and single-state expansion chunks.
 //!
-//! What stays in RAM regardless of budget: the current frontier (bounded
-//! by layer width, not total states), the per-layer pending set, and the
-//! spanning-tree parent array (5 packed bytes per state, needed to
-//! reconstruct violation schedules). The budget governs the visited-set
-//! delta — the only structure that grows with *total* states.
+//! One budget governs every structure that scales with the state space:
+//! half bounds the visited-set delta (floored at [`MIN_FLUSH_BYTES`]),
+//! a quarter bounds the frontier chunk buffer (floored at one state,
+//! with worst-case successor materialization counted against it). What
+//! stays in RAM is *accounted but not bounded*: the per-layer pending
+//! set (≈48 bytes per candidate — one to two orders of magnitude below
+//! the retired per-state frontier payload) and the per-slot machine
+//! intern pool (grows with slot-local machine diversity, not states).
+//! [`CheckStats::peak_resident_bytes`] reports the deterministic
+//! per-layer peak over all of it.
 //!
 //! ```text
-//!              layer expansion (parallel, no I/O)
-//!   frontier ──────────────────────────────────────► pending (64 shards)
-//!      ▲          miss in delta → materialize              │ drain,
-//!      │                                                   │ sort (parent,via)
-//!      │    delta (RAM, ≤ budget)   runs (disk, sorted)    ▼
-//!      │    ┌───────────────┐       ┌────┐┌────┐┌────┐   candidates
-//!      │    │ shard 0..63   │       │ r0 ││ r1 ││ r2 │ ──── sort per shard
-//!      │    └──────┬────────┘       └─┬──┘└─┬──┘└─┬──┘      │
-//!      │           │ flush when        └─────┴─────┴────────┤ merge-join:
-//!      │           │ over budget        (compact when >8)   │ drop hashes
-//!      │           ▼                                        ▼ found on disk
-//!      │      new sorted run                         survivors: assign ids,
-//!      │                                             check invariant,
-//!      └───────────────────────────────────────────── next frontier
+//!        layer file N ──sequential chunk reads──► expansion workers
+//!      (id|done|mach|snap          │                (parallel, no I/O)
+//!       fixed-size records)        │ ≤ budget/4 materialized   │
+//!            ▲                     │ per chunk                 ▼
+//!            │                                         pending (64 shards,
+//!   parent log (5 B/state,                             layer-persistent)
+//!   walked backwards on            candidate file            │ drain,
+//!   violation)                  ◄──stream fresh──┘           │ sort (parent,via)
+//!            ▲                     │ re-read by ordinal       ▼
+//!            │                     ▼                     candidates
+//!     delta (RAM, ≤ budget/2)   runs (disk, sorted)          │
+//!     ┌───────────────┐         ┌────┐┌────┐┌────┐           │ merge-join:
+//!     │ shard 0..63   │         │ r0 ││ r1 ││ r2 │ ──────────┤ drop hashes
+//!     └──────┬────────┘         └─┬──┘└─┬──┘└─┬──┘           │ found on disk
+//!            │ flush at budget/2  └─────┴─────┴── compact    ▼
+//!            ▼                        (when >8)      survivors: assign ids,
+//!       new sorted run                               check invariant,
+//!                                                    append layer file N+1
 //! ```
 
 use crate::checker::{hash128, CheckError, CheckStats, KeyBuilder, ModelChecker, Violation, World};
 use crate::engine::{
-    expand_layer, frontier_state_bytes, schedule_to, shard_of, Explored, FrontierState, Pend,
-    WorkerOut, PEND_OVERHEAD_BYTES, SHARDS,
+    expand_layer, frontier_state_bytes, shard_of, EdgeStore, Explored, FrontierState, Pend,
+    PEND_OVERHEAD_BYTES, SHARDS,
 };
+use crate::frontier::{LayerReader, LayerRecord, LayerWriter, MachinePool, ParentLog, ScratchDir};
 use crate::StepMachine;
 use llr_mem::{Memory as _, SimMemory};
 use std::collections::{HashMap, HashSet};
 use std::fs::{self, File};
 use std::io::{self, BufReader, BufWriter, Read, Write};
-use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 /// Bytes per stored state hash.
@@ -77,6 +105,11 @@ const HASH_BYTES: usize = 16;
 /// state. Budgets below this floor are honored up to this granularity.
 const MIN_FLUSH_BYTES: usize = 64 * 1024;
 
+/// Floor for the frontier chunk buffer, mirroring [`MIN_FLUSH_BYTES`]:
+/// tiny test budgets still expand a few states per chunk instead of
+/// degenerating to one read per record.
+const MIN_CHUNK_BYTES: usize = 64 * 1024;
+
 /// A shard exceeding this many runs is compacted into a single run.
 const MAX_RUNS_PER_SHARD: usize = 8;
 
@@ -87,13 +120,10 @@ const RUN_READ_BUF: usize = 1 << 20;
 pub(crate) struct SpillConfig {
     /// Parent directory for the per-run spill subdirectory.
     pub dir: PathBuf,
-    /// In-RAM delta budget in bytes.
+    /// Total resident budget in bytes (delta + frontier window + CSR
+    /// window share it; see [`ModelChecker::spill_dir`]).
     pub budget_bytes: usize,
 }
-
-/// Monotone counter so concurrent checkers in one process get distinct
-/// spill subdirectories.
-static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// Sequential reader over one sorted run file.
 struct RunReader {
@@ -125,11 +155,12 @@ impl RunReader {
 }
 
 /// The sharded external visited set: an in-RAM delta plus sorted runs on
-/// disk. See the module docs for the discipline.
+/// disk. See the module docs for the discipline. Files live inside the
+/// caller's [`ScratchDir`]; the guard owns cleanup.
 struct SpillSet {
-    /// Unique subdirectory owning every run file; removed on drop.
+    /// Directory owning every run file (the exploration's scratch dir).
     dir: PathBuf,
-    /// Effective flush threshold (`budget.max(MIN_FLUSH_BYTES)`).
+    /// Effective flush threshold.
     threshold: usize,
     /// The in-RAM delta: hashes not yet flushed, sharded like the engine.
     recent: Vec<HashSet<u128>>,
@@ -146,24 +177,17 @@ struct SpillSet {
 }
 
 impl SpillSet {
-    fn create(cfg: &SpillConfig) -> io::Result<Self> {
-        let unique = format!(
-            "llr-mc-spill-{}-{}",
-            std::process::id(),
-            SPILL_SEQ.fetch_add(1, Ordering::Relaxed)
-        );
-        let dir = cfg.dir.join(unique);
-        fs::create_dir_all(&dir)?;
-        Ok(Self {
-            dir,
-            threshold: cfg.budget_bytes.max(MIN_FLUSH_BYTES),
+    fn create_in(dir: &Path, threshold: usize) -> Self {
+        Self {
+            dir: dir.to_path_buf(),
+            threshold,
             recent: (0..SHARDS).map(|_| HashSet::new()).collect(),
             recent_bytes: 0,
             peak_recent_bytes: 0,
             runs: vec![Vec::new(); SHARDS],
             spilled_bytes: 0,
             file_seq: 0,
-        })
+        }
     }
 
     /// Whether `h` is in the in-RAM delta. This is the only lookup the
@@ -293,28 +317,26 @@ impl SpillSet {
     }
 }
 
-impl Drop for SpillSet {
-    fn drop(&mut self) {
-        let _ = fs::remove_dir_all(&self.dir);
-    }
-}
-
-/// Breadth-first exploration with the external-memory visited set.
+/// Breadth-first exploration with the external-memory visited set and
+/// the on-disk frontier.
 ///
 /// Mirrors [`crate::engine::explore`] exactly — same worker expansion
 /// ([`expand_layer`]), same `(parent, via)` drain order, same invariant
 /// check order — but keeps only a budget-bounded delta of the visited
-/// set in RAM and merge-joins each layer's candidates against the
-/// on-disk runs instead of holding one map for the whole run. The
+/// set in RAM, streams each layer (and each layer's candidate
+/// successors) through files instead of holding them materialized, and
+/// merge-joins each layer's candidates against the on-disk runs. The
 /// difference is *when* a rediscovered state is recognized (one layer
 /// later, at the join), never *whether*: states, transitions, terminal
 /// counts and violation schedules are bit-for-bit those of the in-RAM
 /// engines.
 ///
-/// Edge recording is not supported (liveness needs the full edge list in
-/// RAM anyway); callers reach this path only via
-/// [`ModelChecker::check_parallel`] with
-/// [`ModelChecker::spill_dir`] configured.
+/// Edge recording is not supported here (the liveness checker runs the
+/// in-RAM-visited engine with a disk edge log instead); callers reach
+/// this path only via [`ModelChecker::check_parallel`] with
+/// [`ModelChecker::spill_dir`] configured. The returned [`Explored`]
+/// carries stats only — parents live on disk and are dropped with the
+/// scratch directory.
 pub(crate) fn explore_spilled<M, F>(
     mc: &ModelChecker<M>,
     invariant: &F,
@@ -325,7 +347,11 @@ where
     F: Fn(&World<'_, M>) -> Result<(), String>,
 {
     let cfg = mc.spill_config().expect("spill backend selected without a config");
-    let mut spill = SpillSet::create(cfg)?;
+    let scratch = ScratchDir::create(&cfg.dir)?;
+    let mut spill = SpillSet::create_in(
+        scratch.path(),
+        (cfg.budget_bytes / 2).max(MIN_FLUSH_BYTES),
+    );
     let symmetry = mc.symmetry();
     let layout = mc.initial_layout();
     let mem = SimMemory::new(&layout);
@@ -339,12 +365,25 @@ where
         "with a fault budget the frontier engine supports at most 128 machines \
          (crash transitions are encoded as machine + CRASH_SCHEDULE_BASE)"
     );
-    let per_state = frontier_state_bytes::<M>(mem.len(), machines0.len());
-    let done0 = vec![false; machines0.len()];
+    let nm = machines0.len();
+    let words = mem.len();
+    let per_state = frontier_state_bytes::<M>(words, nm);
+    // A chunk of `n` frontier states can materialize at most `n × slots`
+    // fresh successors before they are streamed out, so the quarter
+    // budget is divided by the worst-case amplification. Never below one
+    // state per chunk.
+    let chunk_states = ((cfg.budget_bytes / 4).max(MIN_CHUNK_BYTES) as u64
+        / (per_state * (1 + nm as u64)))
+        .max(1);
+    let done0 = vec![false; nm];
 
     let mut stats = CheckStats::default();
-    let mut parent: Vec<(u32, u8)> = vec![(u32::MAX, 0)];
-    let mut terminal: Vec<bool> = Vec::new();
+    let mut pool: MachinePool<M> = MachinePool::new(nm);
+    let mut keybuf: Vec<u64> = Vec::new();
+    let mut parents = ParentLog::create(scratch.path().join("parents.log"))?;
+    parents.push(u32::MAX, 0)?;
+    // Bytes retired to frontier/parent files (for `spilled_bytes`).
+    let mut frontier_disk_bytes: u64 = 0;
 
     {
         let mut kb = KeyBuilder::default();
@@ -352,8 +391,7 @@ where
         spill.insert_fresh(hash128(key0))?;
     }
     stats.states = 1;
-    terminal.push(done0.iter().all(|&d| d));
-    if terminal[0] {
+    if done0.iter().all(|&d| d) {
         stats.terminal_states = 1;
     }
     {
@@ -372,38 +410,96 @@ where
         }
     }
 
-    let mut frontier: Vec<FrontierState<M>> = vec![FrontierState {
-        snap: mem.snapshot(),
-        machines: machines0,
-        done: done0,
-        id: 0,
-    }];
+    // Layer 0: the initial state, straight to disk.
+    let mut layer_path = scratch.path().join("layer-0.flr");
+    let mut layer_len: u64 = {
+        let mut w = LayerWriter::create(&layer_path, words, nm)?;
+        let ids: Vec<u32> = machines0
+            .iter()
+            .enumerate()
+            .map(|(slot, m)| pool.intern(slot, m, &mut keybuf))
+            .collect();
+        w.push(0, &done0, &ids, &mem.snapshot())?;
+        frontier_disk_bytes += w.bytes();
+        w.finish()?
+    };
     let check_mem = SimMemory::new(&layout);
+    let mut layer_idx: u64 = 0;
+    let por = mc.por_on();
 
-    while !frontier.is_empty() {
+    let materialize = |rec: &LayerRecord, pool: &MachinePool<M>| -> FrontierState<M> {
+        FrontierState {
+            snap: rec.snap.clone(),
+            machines: rec
+                .machine_ids
+                .iter()
+                .enumerate()
+                .map(|(slot, &mid)| pool.get(slot, mid))
+                .collect(),
+            done: rec.done.clone(),
+            id: rec.id,
+        }
+    };
+
+    while layer_len > 0 {
         let pending: Vec<Mutex<HashMap<u128, Pend>>> =
             (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect();
-        // Workers filter against the in-RAM delta only (no I/O in the
-        // concurrent phase); flushed hashes are caught by the join
-        // below. The returned id is a placeholder — edge recording is
-        // off on this path.
-        let spill_ref = &spill;
-        let find = |_buf: &[u64], h: u128| spill_ref.contains_recent(h).then_some(0);
-        let por = mc.por_on();
-        let mut outs = expand_layer(
-            &frontier,
-            &pending,
-            workers,
-            symmetry,
-            false,
-            por,
-            por,
-            mc.crash_loc(),
-            &find,
-        );
-
-        stats.transitions += outs.iter().map(|o| o.transitions).sum::<u64>();
-        let materialized: usize = outs.iter().map(|o| o.fresh.len()).sum();
+        let mut reader = LayerReader::open(&layer_path)?;
+        // Successors materialized this layer, streamed out chunk by
+        // chunk; `fresh_base[worker] + idx` is a record ordinal here.
+        let fresh_path = scratch.path().join(format!("cand-{layer_idx}.flr"));
+        let mut fresh_w = LayerWriter::create(&fresh_path, words, nm)?;
+        let mut fresh_base: Vec<u64> = Vec::new();
+        let mut worker_base: u32 = 0;
+        // POR-reduced states, with layer-global frontier ordinals.
+        let mut reduced_all: Vec<(u32, u8, u128)> = Vec::new();
+        // Peak bytes of one chunk's materialized states + successors.
+        let mut chunk_peak: u64 = 0;
+        let mut pos: u64 = 0;
+        while pos < layer_len {
+            let recs = reader.read_range(pos, chunk_states as usize)?;
+            let chunk: Vec<FrontierState<M>> =
+                recs.iter().map(|r| materialize(r, &pool)).collect();
+            let spill_ref = &spill;
+            // Workers filter against the in-RAM delta only (no I/O in
+            // the concurrent phase); flushed hashes are caught by the
+            // join below. The returned id is a placeholder — edge
+            // recording is off on this path.
+            let find = |_buf: &[u64], h: u128| spill_ref.contains_recent(h).then_some(0);
+            let outs = expand_layer(
+                &chunk,
+                &pending,
+                workers,
+                symmetry,
+                false,
+                por,
+                por,
+                mc.crash_loc(),
+                worker_base,
+                &find,
+            );
+            stats.transitions += outs.iter().map(|o| o.transitions).sum::<u64>();
+            let materialized: usize = outs.iter().map(|o| o.fresh.len()).sum();
+            chunk_peak = chunk_peak.max((chunk.len() + materialized) as u64 * per_state);
+            worker_base += outs.len() as u32;
+            for out in outs {
+                fresh_base.push(fresh_w.count());
+                for st in out.fresh {
+                    let st = st.expect("fresh states are untouched before the join");
+                    let ids: Vec<u32> = st
+                        .machines
+                        .iter()
+                        .enumerate()
+                        .map(|(slot, m)| pool.intern(slot, m, &mut keybuf))
+                        .collect();
+                    fresh_w.push(u32::MAX, &st.done, &ids, &st.snap)?;
+                }
+                for (fi, a, h) in out.reduced {
+                    reduced_all.push((pos as u32 + fi, a, h));
+                }
+            }
+            pos += recs.len() as u64;
+        }
 
         // Sequential phase: drain pending in deterministic order, then
         // drop every candidate the disk already knows.
@@ -420,14 +516,15 @@ where
         // be on disk would have been fully expanded by the in-RAM engine,
         // so expand it fully here — sequentially and in frontier order,
         // min-merging into the pending drain exactly as the workers would
-        // have. Successors the delta knows are skipped (frozen hits);
-        // the rest are probed against disk in a second pass. This keeps
-        // states, ids and violation schedules bit-for-bit identical to
-        // the in-RAM engine under reduction.
+        // have. The frontier states involved are point-read back from the
+        // layer file; extra successors are appended to the candidate file
+        // under one more virtual worker id. Successors the delta knows
+        // are skipped (frozen hits); the rest are probed against disk in
+        // a second pass. This keeps states, ids and violation schedules
+        // bit-for-bit identical to the in-RAM engine under reduction.
         if por {
-            let mut patch: Vec<(u32, u8)> = outs
+            let mut patch: Vec<(u32, u8)> = reduced_all
                 .iter()
-                .flat_map(|o| o.reduced.iter())
                 .filter(|&&(_, _, h)| old.contains(&h))
                 .map(|&(fi, a, _)| (fi, a))
                 .collect();
@@ -438,17 +535,14 @@ where
                     .enumerate()
                     .map(|(i, &(h, _))| (h, i))
                     .collect();
-                let virt = outs.len() as u32;
-                outs.push(WorkerOut {
-                    fresh: Vec::new(),
-                    transitions: 0,
-                    edges: Vec::new(),
-                    reduced: Vec::new(),
-                });
+                let virt = worker_base;
+                fresh_base.push(fresh_w.count());
+                let mut virt_idx: u32 = 0;
                 let mut extras: Vec<u128> = Vec::new();
                 let mut kb = KeyBuilder::default();
                 for &(fi, a) in &patch {
-                    let st = &frontier[fi as usize];
+                    let rec = reader.read_at(fi as u64)?;
+                    let st = materialize(&rec, &pool);
                     for j in 0..st.machines.len() {
                         if j == a as usize || st.done[j] {
                             continue;
@@ -480,25 +574,24 @@ where
                         machines[j] = mj;
                         let mut done = st.done.clone();
                         done[j] = done_j;
-                        let vw = outs.last_mut().expect("virtual worker just pushed");
-                        let idx = vw.fresh.len() as u32;
-                        vw.fresh.push(Some(FrontierState {
-                            snap: check_mem.snapshot(),
-                            machines,
-                            done,
-                            id: u32::MAX,
-                        }));
+                        let ids: Vec<u32> = machines
+                            .iter()
+                            .enumerate()
+                            .map(|(slot, m)| pool.intern(slot, m, &mut keybuf))
+                            .collect();
+                        fresh_w.push(u32::MAX, &done, &ids, &check_mem.snapshot())?;
                         index.insert(h, discovered.len());
                         discovered.push((
                             h,
                             Pend {
                                 worker: virt,
-                                idx,
+                                idx: virt_idx,
                                 parent: st.id,
                                 via: j as u8,
                                 h,
                             },
                         ));
+                        virt_idx += 1;
                         extras.push(h);
                     }
                 }
@@ -507,9 +600,13 @@ where
                 }
             }
         }
+        frontier_disk_bytes += fresh_w.bytes();
+        fresh_w.finish()?;
+        let mut fresh_r = LayerReader::open(&fresh_path)?;
         discovered.sort_unstable_by_key(|(_, p)| (p.parent, p.via));
 
-        let mut next_frontier: Vec<FrontierState<M>> = Vec::new();
+        let next_path = scratch.path().join(format!("layer-{}.flr", layer_idx + 1));
+        let mut next_w = LayerWriter::create(&next_path, words, nm)?;
         for (h, p) in discovered {
             if old.contains(&h) {
                 // Visited in an earlier, already-flushed layer: the
@@ -519,33 +616,50 @@ where
             let id = u32::try_from(stats.states).expect("state ids exceed u32");
             stats.states += 1;
             if stats.states as usize > mc.state_limit() {
+                stats.peak_resident_bytes = stats.peak_resident_bytes.max(
+                    spill.peak_recent_bytes
+                        + chunk_peak
+                        + pool.bytes()
+                        + candidate_n * (PEND_OVERHEAD_BYTES + HASH_BYTES as u64),
+                );
+                stats.spilled_bytes =
+                    spill.spilled_bytes + frontier_disk_bytes + parents.bytes();
                 return Err(CheckError::StateLimit {
                     limit: mc.state_limit(),
+                    stats,
                 });
             }
             spill.insert_fresh(h)?;
-            let mut st = outs[p.worker as usize].fresh[p.idx as usize]
-                .take()
-                .expect("pending entry names a materialized state");
-            st.id = id;
-            parent.push((p.parent, p.via));
-            let term = st.done.iter().all(|&d| d);
-            terminal.push(term);
+            parents.push(p.parent, p.via)?;
+            let rec = fresh_r.read_at(fresh_base[p.worker as usize] + p.idx as u64)?;
+            let term = rec.done.iter().all(|&d| d);
             if term {
                 stats.terminal_states += 1;
             }
 
-            check_mem.restore(&st.snap);
+            check_mem.restore(&rec.snap);
+            let machines: Vec<M> = rec
+                .machine_ids
+                .iter()
+                .enumerate()
+                .map(|(slot, &mid)| pool.get(slot, mid))
+                .collect();
             let world = World {
                 mem: &check_mem,
-                machines: &st.machines,
-                done: &st.done,
+                machines: &machines,
+                done: &rec.done,
             };
             if let Err(message) = invariant(&world) {
-                let schedule = schedule_to(&parent, id);
+                let schedule = parents.schedule_to(id)?;
                 let trace = mc.render_trace(&schedule);
-                stats.peak_resident_bytes = stats.peak_resident_bytes.max(spill.peak_recent_bytes);
-                stats.spilled_bytes = spill.spilled_bytes;
+                stats.peak_resident_bytes = stats.peak_resident_bytes.max(
+                    spill.peak_recent_bytes
+                        + chunk_peak
+                        + pool.bytes()
+                        + candidate_n * (PEND_OVERHEAD_BYTES + HASH_BYTES as u64),
+                );
+                stats.spilled_bytes =
+                    spill.spilled_bytes + frontier_disk_bytes + parents.bytes();
                 return Err(CheckError::Violation(Box::new(Violation {
                     message,
                     schedule,
@@ -553,29 +667,42 @@ where
                     stats,
                 })));
             }
-            next_frontier.push(st);
+            next_w.push(id, &rec.done, &rec.machine_ids, &rec.snap)?;
         }
+        frontier_disk_bytes += next_w.bytes();
+        let next_len = next_w.finish()?;
 
-        // Same deterministic accounting as the in-RAM engine, with the
-        // delta's per-layer peak standing in for the visited set.
+        // Same deterministic accounting discipline as the in-RAM engine,
+        // with the delta's peak standing in for the visited set, the
+        // chunk peak for the frontier, and the machine pool counted
+        // honestly; parents and the layers themselves are on disk now.
         let resident = spill.peak_recent_bytes
-            + (frontier.len() + materialized) as u64 * per_state
-            + candidate_n * (PEND_OVERHEAD_BYTES + HASH_BYTES as u64)
-            + parent.len() as u64 * 8
-            + terminal.len() as u64;
+            + chunk_peak
+            + pool.bytes()
+            + candidate_n * (PEND_OVERHEAD_BYTES + HASH_BYTES as u64);
         stats.peak_resident_bytes = stats.peak_resident_bytes.max(resident);
 
-        if !next_frontier.is_empty() {
+        // The consumed layer and candidate files are dead: remove them
+        // eagerly so disk usage stays O(current + next layer), not
+        // O(total states).
+        drop(reader);
+        drop(fresh_r);
+        fs::remove_file(&layer_path)?;
+        fs::remove_file(&fresh_path)?;
+
+        if next_len > 0 {
             stats.max_depth += 1;
         }
-        frontier = next_frontier;
+        layer_path = next_path;
+        layer_len = next_len;
+        layer_idx += 1;
     }
 
-    stats.spilled_bytes = spill.spilled_bytes;
+    stats.spilled_bytes = spill.spilled_bytes + frontier_disk_bytes + parents.bytes();
     Ok(Explored {
         stats,
-        parent,
-        terminal,
-        edges: Vec::new(),
+        parent: Vec::new(),
+        terminal: Vec::new(),
+        edges: EdgeStore::Ram(Vec::new()),
     })
 }

@@ -110,7 +110,7 @@ fn state_limit_reported() {
     let x = layout.scalar("X", 0);
     let mc = ModelChecker::new(layout, vec![Incr::new(x), Incr::new(x)]).max_states(2);
     match mc.check(|_| Ok(())) {
-        Err(crate::checker::CheckError::StateLimit { limit }) => assert_eq!(limit, 2),
+        Err(crate::checker::CheckError::StateLimit { limit, .. }) => assert_eq!(limit, 2),
         other => panic!("expected state limit, got {other:?}"),
     }
 }
@@ -393,7 +393,7 @@ fn error_displays_are_informative() {
     assert!(text.contains("invariant violated"));
     assert!(text.contains("schedule"));
 
-    let limit = crate::CheckError::StateLimit { limit: 7 };
+    let limit = crate::CheckError::StateLimit { limit: 7, stats: Default::default() };
     assert!(limit.to_string().contains("7"));
 }
 
@@ -438,6 +438,8 @@ fn liveness_stats_display() {
         states: 3,
         edges: 4,
         terminal_states: 1,
+        peak_resident_bytes: 0,
+        spilled_bytes: 0,
     };
     assert!(s.to_string().contains("3 states"));
 }

@@ -320,6 +320,91 @@ fn spill_backend_engines_agree() {
     }
 }
 
+/// Budgets exercised by the frontier-spill battery. The generous budget
+/// keeps everything resident (one chunk per layer, no mid-layer
+/// flushes); the tight budget (256 KiB) forces a 128 KiB visited delta
+/// and the 64 KiB frontier-window floor, so mid-size layers split into
+/// several read chunks; the zero budget clamps every slice to its floor
+/// and drives single-digit-state chunks plus multiple sorted runs per
+/// layer.
+const SPILL_BUDGETS: [usize; 3] = [1usize << 30, 1 << 18, 0];
+
+/// The frontier-on-disk battery: with the whole BFS frontier streaming
+/// through per-layer files (`llr_mc::frontier`), every protocol family
+/// must reproduce the in-RAM parallel engine's counts byte-for-byte at
+/// every worker count and every byte budget. Chunked frontier reads
+/// change which worker first materialises a state, but the
+/// deterministic (parent, via) merge must keep ids — and therefore
+/// counts, depths, and schedules — bit-identical.
+#[test]
+fn frontier_spill_battery() {
+    fn battery<M, F>(label: &str, build: impl Fn() -> ModelChecker<M>, invariant: F)
+    where
+        M: StepMachine + Send + Sync,
+        F: Fn(&World<'_, M>) -> Result<(), String> + Copy,
+    {
+        let reference = build()
+            .workers(1)
+            .check_parallel(invariant)
+            .unwrap_or_else(|e| panic!("{label}: in-RAM reference failed:\n{e}"));
+        let dir = std::env::temp_dir();
+        for budget in SPILL_BUDGETS {
+            for workers in WORKER_COUNTS {
+                let spill = build()
+                    .spill_dir(&dir, budget)
+                    .workers(workers)
+                    .check_parallel(invariant)
+                    .unwrap_or_else(|e| {
+                        panic!("{label}: spill (budget={budget}, {workers}w) failed:\n{e}")
+                    });
+                let tag = format!("{label} budget={budget} workers={workers}");
+                assert_eq!(spill.states, reference.states, "states ({tag})");
+                assert_eq!(spill.transitions, reference.transitions, "transitions ({tag})");
+                assert_eq!(
+                    spill.terminal_states, reference.terminal_states,
+                    "terminal states ({tag})"
+                );
+                assert_eq!(spill.max_depth, reference.max_depth, "BFS depth ({tag})");
+                assert!(spill.peak_resident_bytes > 0, "resident accounting ran ({tag})");
+                if budget == 0 {
+                    // With every slice at its floor the frontier layers
+                    // themselves must have gone through disk, not just
+                    // the visited hashes.
+                    assert!(
+                        spill.spilled_bytes > reference.states * 16,
+                        "zero budget must push frontier bytes to disk ({tag}): \
+                         spilled {} bytes over {} states",
+                        spill.spilled_bytes,
+                        reference.states
+                    );
+                }
+            }
+        }
+    }
+
+    let tiny = FilterParams::new(2, 4, 1, 2).unwrap();
+    battery(
+        "SPLIT k=2",
+        || split_spec::checker(2, 2, 3),
+        split_spec::unique_names_invariant,
+    );
+    battery(
+        "FILTER tiny pids=[1,3]",
+        || filter_spec::checker(tiny, &[1, 3], 2),
+        filter_spec::combined_invariant,
+    );
+    battery(
+        "LevelArray k=3",
+        || la_spec::checker(3, &[2, 9, 77], 2),
+        la_spec::unique_names_invariant,
+    );
+    battery(
+        "small net ℓ=2",
+        || net_spec::checker(2, &[0, 1, 2]),
+        net_spec::unique_names_invariant,
+    );
+}
+
 /// Under a tiny budget the spill backend must hold far less of the
 /// visited set in RAM than the in-RAM hashed engine — this is the whole
 /// point of the backend, and what the E2 table's budget column claims.
@@ -388,23 +473,26 @@ fn violation_schedule_is_deterministic() {
     }
 
     // The spill backend must report the identical violation — message
-    // and schedule — even when a zero budget forces the visited set
-    // through disk runs.
+    // and schedule — at every budget, including the zero budget that
+    // forces the visited set through disk runs and the frontier through
+    // single-state read chunks.
     let expected = first.expect("in-RAM engines produced a violation");
-    for workers in WORKER_COUNTS {
-        let err = onetime_spec::checker(2, &[0, 1])
-            .spill_dir(std::env::temp_dir(), 0)
-            .workers(workers)
-            .check_parallel(broken)
-            .expect_err("the broken invariant must trip under spilling");
-        let CheckError::Violation(v) = err else {
-            panic!("expected a violation, got {err}");
-        };
-        assert_eq!(
-            (v.message.clone(), v.schedule.clone()),
-            expected,
-            "spill violation differs (workers={workers})"
-        );
+    for budget in SPILL_BUDGETS {
+        for workers in WORKER_COUNTS {
+            let err = onetime_spec::checker(2, &[0, 1])
+                .spill_dir(std::env::temp_dir(), budget)
+                .workers(workers)
+                .check_parallel(broken)
+                .expect_err("the broken invariant must trip under spilling");
+            let CheckError::Violation(v) = err else {
+                panic!("expected a violation, got {err}");
+            };
+            assert_eq!(
+                (v.message.clone(), v.schedule.clone()),
+                expected,
+                "spill violation differs (budget={budget}, workers={workers})"
+            );
+        }
     }
 }
 

@@ -38,7 +38,11 @@ use llr_gf::FilterParams;
 use llr_mc::{CheckError, CheckStats, ModelChecker, StepMachine, World};
 
 const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
-const SPILL_BUDGETS: [usize; 2] = [1usize << 30, 0];
+/// Generous (everything resident), tight (256 KiB: mid-size layers
+/// split into several frontier read chunks), and zero (every slice at
+/// its 64 KiB floor: single-digit-state chunks, multiple sorted runs
+/// per layer).
+const SPILL_BUDGETS: [usize; 3] = [1usize << 30, 1 << 18, 0];
 
 /// Runs `build()` fully and reduced through every backend and asserts
 /// the POR soundness contract. Returns `(full DFS, reduced BFS)` stats
@@ -205,10 +209,10 @@ fn split_por_sound() {
 
 #[test]
 fn filter_por_sound() {
-    // Uniqueness only: FILTER's block-exclusion predicate inspects the
-    // `won_blocks` of machines still inside their acquire step, which is
-    // not invariant-observable state — reduction is documented as
-    // unsound for it and it stays out of this suite.
+    // Uniqueness only: under the default core, FILTER's block-exclusion
+    // predicate inspects the `won_blocks` of machines still inside their
+    // acquire step, which is not invariant-observable state — for the
+    // block-level invariants use the `observe_blocks` core below.
     let tiny = FilterParams::new(2, 4, 1, 2).unwrap();
     for pair in [[1u64, 2], [1, 3]] {
         let (full, por) = assert_por_sound(
@@ -221,6 +225,45 @@ fn filter_por_sound() {
             "FILTER pids={pair:?}: expected a strict reduction, got {} vs {}",
             por.states,
             full.states
+        );
+    }
+}
+
+/// With `FilterCore::observe_blocks` on, every step that can change a
+/// machine's confirmed-won block set (checks and releasing pops) is
+/// declared visible, which promotes `won_blocks` into the reduction's
+/// visibility contract — so the block-exclusion invariant (Lemma 6) and
+/// the combined invariant run soundly under `Engine::Reduced`. (FILTER
+/// is the family with ME blocks; MA has none, so this is where the
+/// block-level contract is pinned.) The extra visible steps shrink the
+/// reduction, which is why the default core keeps the flag off.
+#[test]
+fn filter_blocks_observable_por_sound() {
+    let tiny = FilterParams::new(2, 4, 1, 2).unwrap();
+    for pair in [[1u64, 2], [1, 3]] {
+        // The full graph must be identical to the default checker's —
+        // the flag only affects footprints, never stepping or keys.
+        let default_full = filter_spec::checker(tiny, &pair, 2)
+            .check(filter_spec::combined_invariant)
+            .expect("FILTER verifies");
+        let observing_full = filter_spec::blocks_observable_checker(tiny, &pair, 2)
+            .check(filter_spec::combined_invariant)
+            .expect("FILTER verifies with observable blocks");
+        assert_eq!(
+            (observing_full.states, observing_full.transitions),
+            (default_full.states, default_full.transitions),
+            "observe_blocks must not change the unreduced graph (pids={pair:?})"
+        );
+
+        assert_por_sound(
+            &format!("FILTER blocks-observable pids={pair:?} (block exclusion)"),
+            || filter_spec::blocks_observable_checker(tiny, &pair, 2),
+            filter_spec::block_exclusion_invariant,
+        );
+        assert_por_sound(
+            &format!("FILTER blocks-observable pids={pair:?} (combined)"),
+            || filter_spec::blocks_observable_checker(tiny, &pair, 2),
+            filter_spec::combined_invariant,
         );
     }
 }
